@@ -1,0 +1,35 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at ``quick``
+scale (identical code paths to the paper-scale run, reduced grids) and
+prints the regenerated rows once, so a benchmark run doubles as a smoke
+reproduction. Use ``repro.cli run <exp> --scale paper`` for the full-size
+numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_print(runner, name: str, **kwargs):
+    """Run an experiment callable and print its rendered output once."""
+    result = runner(**kwargs)
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def once(benchmark):
+    """A pedantic single-round benchmark: experiment runners are seconds-
+    long and deterministic, so one round measures them fine and keeps the
+    suite fast."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return run

@@ -1,0 +1,43 @@
+"""Benchmark ablation: CELF lazy greedy vs plain vectorized greedy on the
+submodular ν bound — wall time and point evaluations (DESIGN.md §4 calls
+the vectorized scan the design-critical choice; this measures the
+alternative)."""
+
+import pytest
+
+from repro.core.bounds import NuFunction
+from repro.core.greedy import greedy_placement
+from repro.core.lazy_greedy import lazy_greedy_placement
+from repro.experiments.workloads import rg_workload
+
+
+@pytest.fixture(scope="module")
+def nu():
+    workload = rg_workload(seed=11, n=100)
+    instance = workload.instance(0.1, m=40, k=6, seed=12)
+    return NuFunction(instance)
+
+
+def test_plain_greedy_nu(benchmark, nu):
+    placement = benchmark(greedy_placement, nu, 6)
+    assert len(placement) <= 6
+
+
+def test_celf_greedy_nu(benchmark, nu):
+    placement, evaluations = benchmark(lazy_greedy_placement, nu, 6)
+    assert len(placement) <= 6
+    # CELF's entire point: far fewer evaluations than 6 full scans.
+    full_scans = 7 * nu.n * (nu.n - 1) // 2
+    print(f"\nCELF point evaluations: {evaluations} "
+          f"(vs {full_scans} for full rescans)")
+    assert evaluations < full_scans
+
+
+def test_celf_matches_plain_value(once, nu):
+    def both():
+        plain = greedy_placement(nu, 6)
+        lazy, _ = lazy_greedy_placement(nu, 6)
+        return plain, lazy
+
+    plain, lazy = once(both)
+    assert nu.value(lazy) == pytest.approx(nu.value(plain))

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 1 (placement showcase, AA vs random)."""
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig1(once):
+    result = once(run_fig1, scale="quick", seed=1)
+    print()
+    print(result.render())
+    rows = {r[0]: r[1] for r in result.tables[0]["rows"]}
+    assert rows["sandwich"] >= rows["random"]

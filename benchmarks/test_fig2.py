@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 2 (AA vs random over k)."""
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2(once):
+    result = once(run_fig2, scale="quick", seed=1)
+    print()
+    print(result.render())
+    for fig in result.series:
+        series = dict(fig["series"])
+        for name, values in series.items():
+            if name.startswith("AA"):
+                random_name = name.replace("AA", "random")
+                assert all(
+                    a >= r for a, r in zip(values, series[random_name])
+                )

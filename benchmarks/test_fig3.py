@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 3 (AA vs EA vs AEA over k)."""
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3(once):
+    result = once(run_fig3, scale="quick", seed=1)
+    print()
+    print(result.render())
+    for fig in result.series:
+        series = dict(fig["series"])
+        for name, values in series.items():
+            if name.startswith("EA"):
+                aa = series[name.replace("EA", "AA")]
+                assert sum(aa) >= sum(values)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 4 (maintained connections vs iterations r)."""
+
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4(once):
+    result = once(run_fig4, scale="quick", seed=1)
+    print()
+    print(result.render())
+    for fig in result.series:
+        for name, values in fig["series"]:
+            assert all(a <= b for a, b in zip(values, values[1:])), name

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 5 (dynamic networks, tactical traces)."""
+
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig5(once):
+    result = once(run_fig5, scale="quick", seed=1)
+    print()
+    print(result.render())
+    totals_vs_T = next(
+        fig for fig in result.series
+        if "vs T" in fig["title"] and "average" not in fig["title"]
+    )
+    for name, values in totals_vs_T["series"]:
+        assert all(a <= b for a, b in zip(values, values[1:])), name

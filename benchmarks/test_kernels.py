@@ -1,0 +1,110 @@
+"""Microbenchmarks of the design-critical kernels (DESIGN.md §4):
+
+* σ point evaluation (supernode contraction over the APSP matrix),
+* the vectorized greedy candidate scan (``add_candidates``),
+* APSP matrix construction,
+* one full AEA iteration (greedy swap).
+
+These are the operations every algorithm's runtime reduces to; tracking
+them catches performance regressions independent of experiment wiring.
+"""
+
+import pytest
+
+from repro.core.aea import AdaptiveEvolutionaryAlgorithm
+from repro.core.bounds import MuFunction, NuFunction
+from repro.core.evaluator import SigmaEvaluator
+from repro.experiments.workloads import rg_workload
+from repro.graph.paths import all_pairs_distance_matrix
+
+
+@pytest.fixture(scope="module")
+def instance():
+    workload = rg_workload(seed=5, n=100)
+    return workload.instance(0.1, m=40, k=6, seed=6)
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return [(0, 50), (10, 60), (20, 70), (30, 80)]
+
+
+def test_apsp_matrix(benchmark, instance):
+    result = benchmark(
+        all_pairs_distance_matrix, instance.graph
+    )
+    assert result.shape[0] == instance.n
+
+
+def test_sigma_point_evaluation(benchmark, instance, edges):
+    evaluator = SigmaEvaluator(instance)
+    value = benchmark(evaluator.value, edges)
+    assert 0 <= value <= instance.m
+
+
+def test_sigma_candidate_scan(benchmark, instance, edges):
+    evaluator = SigmaEvaluator(instance)
+    scores = benchmark(evaluator.add_candidates, edges)
+    assert scores.shape == (instance.n, instance.n)
+
+
+def test_mu_candidate_scan(benchmark, instance, edges):
+    mu = MuFunction(instance)
+    scores = benchmark(mu.add_candidates, edges)
+    assert scores.shape == (instance.n, instance.n)
+
+
+def test_nu_candidate_scan(benchmark, instance, edges):
+    nu = NuFunction(instance)
+    scores = benchmark(nu.add_candidates, edges)
+    assert scores.shape == (instance.n, instance.n)
+
+
+def test_aea_greedy_swap(benchmark, instance):
+    aea = AdaptiveEvolutionaryAlgorithm(instance, iterations=1, seed=7)
+    placement = aea._random_placement(instance.k)
+    new_edges, value, _cost = benchmark(aea._greedy_swap, placement)
+    assert len(new_edges) == instance.k
+    assert value >= 0
+
+
+def test_weighted_sigma_candidate_scan(benchmark, instance, edges):
+    from repro.core.weighted import WeightedSigmaEvaluator
+
+    weighted = WeightedSigmaEvaluator(
+        instance, [1.0 + (i % 3) for i in range(instance.m)]
+    )
+    scores = benchmark(weighted.add_candidates, edges)
+    assert scores.shape == (instance.n, instance.n)
+
+
+def test_k_shortest_paths(benchmark, instance):
+    from repro.graph.kpaths import k_shortest_paths
+
+    u, w = instance.pairs[0]
+    paths = benchmark(k_shortest_paths, instance.graph, u, w, 5)
+    assert 1 <= len(paths) <= 5
+
+
+def test_delivery_trial_round(benchmark, instance):
+    from repro.sim.delivery import DeliverySimulator
+
+    simulator = DeliverySimulator(instance.graph)
+    report = benchmark(
+        simulator.simulate,
+        instance.pairs[:10],
+        trials=20,
+        seed=3,
+    )
+    assert report.trials == 20
+
+
+def test_shortcut_engine_build(benchmark, instance, edges):
+    from repro.graph.shortcuts import ShortcutDistanceEngine
+
+    engine = benchmark(
+        ShortcutDistanceEngine.from_index_pairs,
+        instance.oracle,
+        edges,
+    )
+    assert engine.component_indices

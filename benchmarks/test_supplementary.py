@@ -1,0 +1,53 @@
+"""Benchmarks for the supplementary experiments (ablations, MSC-CN,
+delivery validation, prediction, generality) at quick scale."""
+
+from repro.experiments.ablations import (
+    run_ablation_aea,
+    run_ablation_sandwich,
+)
+from repro.experiments.delivery_exp import run_delivery
+from repro.experiments.generality_exp import run_generality
+from repro.experiments.msc_cn_exp import run_msc_cn
+from repro.experiments.prediction_exp import run_prediction
+
+
+def test_msc_cn(once):
+    result = once(run_msc_cn, scale="quick", seed=1)
+    print()
+    print(result.render())
+    assert "yes" in result.notes[0]
+
+
+def test_delivery(once):
+    result = once(run_delivery, scale="quick", seed=1)
+    print()
+    print(result.render())
+    assert any("0 (expected 0)" in note for note in result.notes)
+
+
+def test_prediction(once):
+    result = once(run_prediction, scale="quick", seed=1)
+    print()
+    print(result.render())
+    rows = result.tables[0]["rows"]
+    oracle = rows[0][2]
+    assert all(row[2] <= oracle for row in rows[1:])
+
+
+def test_generality(once):
+    result = once(run_generality, scale="quick", seed=1)
+    print()
+    print(result.render())
+    assert "yes" in result.notes[-1]
+
+
+def test_ablation_sandwich(once):
+    result = once(run_ablation_sandwich, scale="quick", seed=1)
+    print()
+    print(result.render())
+
+
+def test_ablation_aea(once):
+    result = once(run_ablation_aea, scale="quick", seed=1)
+    print()
+    print(result.render())

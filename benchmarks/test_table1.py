@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table I (sandwich ratio grid, RG graph)."""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(once):
+    result = once(run_table1, scale="quick", seed=1)
+    print()
+    print(result.render())
+    # Shape assertions (paper §VII-B): valid ratios everywhere.
+    for row in result.tables[0]["rows"]:
+        assert all(0.0 <= r <= 1.0 + 1e-9 for r in row[1:])

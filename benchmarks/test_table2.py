@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table II (sandwich ratio grid, Gowalla)."""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(once):
+    result = once(run_table2, scale="quick", seed=1)
+    print()
+    print(result.render())
+    for row in result.tables[0]["rows"]:
+        assert all(0.0 <= r <= 1.0 + 1e-9 for r in row[1:])

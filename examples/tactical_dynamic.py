@@ -1,0 +1,69 @@
+"""Tactical battlefield network: one placement serving a moving operation.
+
+The paper's other motivating scenario (§I): a platoon commander must stay
+connected to squad leaders while everyone moves. Topologies change over
+time, so a single shortcut placement must work across the whole operation —
+the dynamic MSC problem of §VI, where the objective sums the maintained
+connections over all predicted topologies.
+
+This example generates a reference-point-group-mobility trace (the stand-in
+for the ARL tactical traces, see DESIGN.md §5), round-trips it through the
+trace file format, builds the dynamic instance, and compares AA and AEA on
+the summed objective.
+
+Run:  python examples/tactical_dynamic.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import TacticalConfig, generate_tactical_trace
+from repro.experiments.workloads import tactical_dynamic_instance
+from repro.netgen.traces import load_trace, save_trace
+
+
+def main() -> None:
+    # 1. The operation: 50 nodes in 7 squads moving through a 2 km area,
+    #    10 predicted topology snapshots.
+    config = TacticalConfig(n_nodes=50, n_groups=7, snapshots=10)
+    trace = generate_tactical_trace(config, seed=21)
+    print(f"trace: {trace.n_nodes} nodes / {len(set(trace.groups.values()))} "
+          f"squads / {trace.snapshots} snapshots")
+
+    # 2. Traces persist to a simple CSV format (like the periodic location
+    #    updates the paper's ARL dataset records).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "operation.trace"
+        save_trace(trace, path)
+        trace = load_trace(path)
+        print(f"round-tripped trace through {path.name}")
+
+    # 3. The dynamic MSC instance: 20 important pairs per snapshot that
+    #    violate p_t = 0.11, with a budget of 8 satellite links shared
+    #    across the whole operation.
+    dyn = tactical_dynamic_instance(
+        p_threshold=0.11, m=20, k=8, T=10, seed=21, n=50
+    )
+    print(f"dynamic instance: T={dyn.T}, {dyn.total_pairs} pair-instances, "
+          f"k={dyn.k}\n")
+
+    # 4. Solve on the summed objective (all static algorithms reapply).
+    aa = dyn.solve_sandwich()
+    print(f"AA : {aa.sigma}/{dyn.total_pairs} connection-instances "
+          f"maintained")
+    aea = dyn.solve_aea(iterations=150, seed=22)
+    print(f"AEA: {aea.sigma}/{dyn.total_pairs} connection-instances "
+          f"maintained")
+
+    # 5. Per-snapshot breakdown for the better placement.
+    best = max((aa, aea), key=lambda r: r.sigma)
+    edges = dyn.edges_to_index_pairs(best.edges)
+    per_topology = dyn.sigma_per_topology(edges)
+    print(f"\nbest placement ({best.algorithm}): {best.edges}")
+    for t, value in enumerate(per_topology):
+        bar = "#" * value
+        print(f"  t={t:2d}: {value:2d}/{dyn.instances[t].m} {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim for environments without the `wheel` package (offline legacy
+`python setup.py develop` installs); configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Placement analysis: per-edge attribution and robustness evaluation."""
+
+from repro.analysis.planner import PlacementPlanner
+from repro.analysis.placement import (
+    EdgeContribution,
+    edge_contributions,
+    pair_attribution,
+)
+from repro.analysis.robustness import RobustnessReport, perturbation_analysis
+
+__all__ = [
+    "EdgeContribution",
+    "edge_contributions",
+    "pair_attribution",
+    "PlacementPlanner",
+    "RobustnessReport",
+    "perturbation_analysis",
+]

@@ -1,0 +1,104 @@
+"""Post-hoc analysis of a shortcut placement.
+
+Answers the questions an operator asks after running a solver: *what is each
+(expensive) shortcut edge actually buying us, and which placed edge is each
+social pair relying on?* Used by the Gowalla example to demonstrate the
+paper's community effect (§VII-D) quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.problem import MSCInstance
+from repro.types import IndexPair, NodePair, normalize_index_pair
+
+
+@dataclass(frozen=True)
+class EdgeContribution:
+    """Value attribution for one placed shortcut edge.
+
+    Attributes:
+        edge: the shortcut edge (node pair).
+        solo_sigma: pairs maintained by this edge alone, σ({f}).
+        marginal_sigma: pairs lost when removing this edge from the full
+            placement, σ(F) - σ(F \\ {f}) — the edge's criticality.
+    """
+
+    edge: NodePair
+    solo_sigma: int
+    marginal_sigma: int
+
+
+def _to_index_pairs(
+    instance: MSCInstance, edges: Sequence[NodePair]
+) -> List[IndexPair]:
+    graph = instance.graph
+    return [
+        normalize_index_pair(graph.node_index(u), graph.node_index(v))
+        for u, v in edges
+    ]
+
+
+def edge_contributions(
+    instance: MSCInstance,
+    edges: Sequence[NodePair],
+    evaluator: Optional[SigmaEvaluator] = None,
+) -> List[EdgeContribution]:
+    """Solo and marginal σ contribution of every edge in a placement.
+
+    Note that marginal contributions do not sum to σ(F): edges can be
+    mutually redundant (both cover the same pairs → low marginals) or
+    synergistic (a chain is worth more than its links → marginals can sum
+    above the total for the pairs relying on several edges at once).
+    """
+    sigma = evaluator if evaluator is not None else SigmaEvaluator(instance)
+    index_pairs = _to_index_pairs(instance, edges)
+    full = sigma.value(index_pairs)
+    out = []
+    for i, edge in enumerate(edges):
+        reduced = index_pairs[:i] + index_pairs[i + 1 :]
+        out.append(
+            EdgeContribution(
+                edge=(edge[0], edge[1]),
+                solo_sigma=sigma.value([index_pairs[i]]),
+                marginal_sigma=full - sigma.value(reduced),
+            )
+        )
+    return out
+
+
+def pair_attribution(
+    instance: MSCInstance,
+    edges: Sequence[NodePair],
+    evaluator: Optional[SigmaEvaluator] = None,
+) -> Dict[NodePair, List[NodePair]]:
+    """For each maintained pair, the placed edges it depends on.
+
+    An edge is *load-bearing* for a pair when removing it breaks the pair's
+    requirement. Pairs maintained redundantly (several disjoint rescues) map
+    to an empty list — no single edge is critical for them.
+
+    Returns:
+        Mapping of maintained pairs to their critical edges (possibly
+        empty); unmaintained pairs are absent.
+    """
+    sigma = evaluator if evaluator is not None else SigmaEvaluator(instance)
+    index_pairs = _to_index_pairs(instance, edges)
+    full_flags = sigma.satisfied(index_pairs)
+    critical: Dict[NodePair, List[NodePair]] = {
+        pair: []
+        for pair, flag in zip(instance.pairs, full_flags)
+        if flag
+    }
+    for i, edge in enumerate(edges):
+        reduced = index_pairs[:i] + index_pairs[i + 1 :]
+        reduced_flags = sigma.satisfied(reduced)
+        for pair, was, now in zip(
+            instance.pairs, full_flags, reduced_flags
+        ):
+            if was and not now:
+                critical[pair].append((edge[0], edge[1]))
+    return critical

@@ -1,0 +1,187 @@
+"""Interactive placement planner: what-if exploration with undo.
+
+Solvers return a finished placement; operators often want to *steer* —
+"what if I add a link here? which single link helps most now? undo that."
+:class:`PlacementPlanner` wraps an instance with a mutable working
+placement, live σ/coverage queries, best-next-edge suggestions, and an
+undo stack. The Gowalla and tactical examples show the style of session it
+supports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.problem import MSCInstance
+from repro.exceptions import SolverError
+from repro.types import IndexPair, NodePair, normalize_index_pair
+
+
+class PlacementPlanner:
+    """A mutable shortcut-placement session over one MSC instance.
+
+    All mutating operations record themselves on an undo stack. Edges are
+    given as node pairs at the API surface; the instance's budget ``k`` is
+    advisory — the planner warns via :attr:`over_budget` instead of
+    refusing, since what-if exploration legitimately overshoots.
+    """
+
+    def __init__(
+        self,
+        instance: MSCInstance,
+        evaluator: Optional[SigmaEvaluator] = None,
+    ) -> None:
+        self.instance = instance
+        self.evaluator = (
+            evaluator if evaluator is not None else SigmaEvaluator(instance)
+        )
+        self._edges: List[IndexPair] = []
+        self._undo: List[Tuple[str, IndexPair]] = []
+
+    # ------------------------------------------------------------- helpers
+
+    def _to_index_pair(self, u, v) -> IndexPair:
+        graph = self.instance.graph
+        if u == v:
+            raise SolverError(f"shortcut self-loop on {u!r}")
+        return normalize_index_pair(
+            graph.node_index(u), graph.node_index(v)
+        )
+
+    # ------------------------------------------------------------ mutation
+
+    def add(self, u, v) -> int:
+        """Place a shortcut edge between *u* and *v*; returns the new σ.
+
+        Adding an already-placed edge is rejected (it would be a no-op that
+        silently burns budget)."""
+        pair = self._to_index_pair(u, v)
+        if pair in self._edges:
+            raise SolverError(f"edge {u!r}-{v!r} already placed")
+        self._edges.append(pair)
+        self._undo.append(("add", pair))
+        return self.sigma
+
+    def remove(self, u, v) -> int:
+        """Remove a placed shortcut edge; returns the new σ."""
+        pair = self._to_index_pair(u, v)
+        if pair not in self._edges:
+            raise SolverError(f"edge {u!r}-{v!r} is not placed")
+        self._edges.remove(pair)
+        self._undo.append(("remove", pair))
+        return self.sigma
+
+    def undo(self) -> bool:
+        """Revert the most recent add/remove; False when nothing to undo."""
+        if not self._undo:
+            return False
+        action, pair = self._undo.pop()
+        if action == "add":
+            self._edges.remove(pair)
+        else:
+            self._edges.append(pair)
+        return True
+
+    def reset(self) -> None:
+        """Clear the placement and the undo history."""
+        self._edges.clear()
+        self._undo.clear()
+
+    def adopt(self, edges: Sequence[NodePair]) -> None:
+        """Replace the working placement (e.g. with a solver's result);
+        clears the undo history."""
+        index_pairs = [self._to_index_pair(u, v) for u, v in edges]
+        if len(set(index_pairs)) != len(index_pairs):
+            raise SolverError("duplicate edges in adopted placement")
+        self._edges = index_pairs
+        self._undo.clear()
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def edges(self) -> List[NodePair]:
+        """The working placement as node pairs, in placement order."""
+        return self.instance.edges_to_nodes(self._edges)
+
+    @property
+    def sigma(self) -> int:
+        """σ of the working placement."""
+        return int(self.evaluator.value(self._edges))
+
+    @property
+    def satisfied(self) -> List[bool]:
+        return self.evaluator.satisfied(self._edges)
+
+    @property
+    def unsatisfied_pairs(self) -> List[NodePair]:
+        return [
+            pair
+            for pair, flag in zip(self.instance.pairs, self.satisfied)
+            if not flag
+        ]
+
+    @property
+    def remaining_budget(self) -> int:
+        return self.instance.k - len(self._edges)
+
+    @property
+    def over_budget(self) -> bool:
+        return len(self._edges) > self.instance.k
+
+    # ---------------------------------------------------------- suggestions
+
+    def suggest(self, count: int = 5) -> List[Tuple[NodePair, int]]:
+        """The *count* best next edges, as ``(edge, resulting σ)`` pairs,
+        best first. Ties resolve toward lexicographically smaller edges.
+
+        Only strictly improving candidates are returned, so the list may be
+        shorter than *count* (empty at a local optimum)."""
+        scores = np.asarray(
+            self.evaluator.add_candidates(self._edges), dtype=float
+        )
+        n = self.instance.n
+        current = float(scores[0, 0])
+        invalid = np.zeros((n, n), dtype=bool)
+        np.fill_diagonal(invalid, True)
+        invalid |= np.tri(n, dtype=bool)  # keep a < b only
+        for a, b in self._edges:
+            invalid[a, b] = True
+        masked = np.where(invalid, -math.inf, scores)
+        # Stable sort on the negated scores keeps equal-value candidates in
+        # row-major (lexicographic) order, matching the greedy tie-break.
+        flat = np.argsort(-masked, axis=None, kind="stable")
+        out: List[Tuple[NodePair, int]] = []
+        for index in flat[: max(count * 3, count)]:
+            a, b = divmod(int(index), n)
+            value = masked[a, b]
+            if not math.isfinite(value) or value <= current + 1e-9:
+                break
+            out.append(
+                (self.instance.index_pair_to_nodes((a, b)), int(value))
+            )
+            if len(out) == count:
+                break
+        return out
+
+    def apply_best(self) -> Optional[NodePair]:
+        """Place the single best improving edge; returns it (or None at a
+        local optimum)."""
+        suggestions = self.suggest(count=1)
+        if not suggestions:
+            return None
+        (u, v), _value = suggestions[0]
+        self.add(u, v)
+        return (u, v)
+
+    def summary(self) -> str:
+        budget = (
+            f"{len(self._edges)}/{self.instance.k} edges"
+            + (" (OVER BUDGET)" if self.over_budget else "")
+        )
+        return (
+            f"planner: σ={self.sigma}/{self.instance.m} with {budget}"
+        )

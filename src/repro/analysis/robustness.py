@@ -1,0 +1,123 @@
+"""Robustness of a placement under perturbed link conditions.
+
+The paper's §VI motivates that real link conditions fluctuate. Beyond the
+topology-series model, a cheaper sanity check is perturbation analysis: jitter
+every link's failure probability and ask how many of the originally
+maintained pairs survive. A placement whose pairs sit exactly on the
+requirement boundary is fragile; one with slack keeps maintaining them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.problem import MSCInstance
+from repro.failure.models import MAX_FAILURE_PROBABILITY, length_to_failure
+from repro.graph.graph import WirelessGraph
+from repro.types import NodePair, normalize_index_pair
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.validation import check_nonnegative, check_positive_int
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Outcome of :func:`perturbation_analysis`.
+
+    Attributes:
+        baseline_sigma: σ on the unperturbed instance.
+        trials: number of perturbed re-evaluations.
+        sigma_samples: σ of the same placement on each perturbed network.
+        mean_sigma: average over the samples.
+        worst_sigma: minimum over the samples.
+    """
+
+    baseline_sigma: int
+    trials: int
+    sigma_samples: List[int]
+
+    @property
+    def mean_sigma(self) -> float:
+        return sum(self.sigma_samples) / len(self.sigma_samples)
+
+    @property
+    def worst_sigma(self) -> int:
+        return min(self.sigma_samples)
+
+    @property
+    def retention(self) -> float:
+        """Fraction of the baseline σ retained on average (1.0 when the
+        baseline is 0 — nothing to lose)."""
+        if self.baseline_sigma == 0:
+            return 1.0
+        return self.mean_sigma / self.baseline_sigma
+
+
+def perturb_graph(
+    graph: WirelessGraph, noise: float, rng
+) -> WirelessGraph:
+    """Copy of *graph* with every link failure probability multiplied by a
+    uniform factor in ``[1 - noise, 1 + noise]`` (clamped below 1).
+
+    Shortcut edges are *not* part of the base graph, so they stay perfectly
+    reliable — matching the paper's premise that satellite/UAV links do not
+    degrade with the wireless environment.
+    """
+    noise = check_nonnegative(noise, "noise")
+    perturbed = WirelessGraph()
+    perturbed.add_nodes(graph.nodes)
+    for u, v, length in graph.edges:
+        p = length_to_failure(length)
+        factor = 1.0 + rng.uniform(-noise, noise)
+        p_new = min(max(p * factor, 0.0), MAX_FAILURE_PROBABILITY)
+        perturbed.add_edge(u, v, failure_probability=p_new)
+    return perturbed
+
+
+def perturbation_analysis(
+    instance: MSCInstance,
+    edges: Sequence[NodePair],
+    *,
+    noise: float = 0.2,
+    trials: int = 20,
+    seed: SeedLike = None,
+) -> RobustnessReport:
+    """Evaluate a placement's σ across *trials* perturbed copies of the
+    network.
+
+    Args:
+        instance: the original instance (defines pairs, threshold, graph).
+        edges: the placement to stress, as node pairs.
+        noise: relative jitter applied to each link's failure probability.
+        trials: number of perturbed networks.
+        seed: RNG seed.
+    """
+    check_positive_int(trials, "trials")
+    rng = ensure_rng(seed)
+    baseline_eval = SigmaEvaluator(instance)
+    graph = instance.graph
+    index_pairs = [
+        normalize_index_pair(graph.node_index(u), graph.node_index(v))
+        for u, v in edges
+    ]
+    baseline = baseline_eval.value(index_pairs)
+
+    samples: List[int] = []
+    for _ in range(trials):
+        perturbed = perturb_graph(graph, noise, rng)
+        perturbed_instance = MSCInstance(
+            perturbed,
+            instance.pairs,
+            instance.k,
+            d_threshold=instance.d_threshold,
+            require_initially_unsatisfied=False,
+        )
+        samples.append(
+            SigmaEvaluator(perturbed_instance).value(index_pairs)
+        )
+    return RobustnessReport(
+        baseline_sigma=baseline,
+        trials=trials,
+        sigma_samples=samples,
+    )

@@ -1,0 +1,170 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    msc-repro list
+    msc-repro run table1 [--scale paper|quick] [--seed 1] [--json out.json]
+    msc-repro run all --scale quick
+    msc-repro describe            # workload summaries
+
+(also available as ``python -m repro.cli``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.config import SCALES
+from repro.experiments.runner import (
+    all_experiment_names,
+    experiment_names,
+    run_experiment,
+)
+from repro.util.serialization import dump_json
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="msc-repro",
+        description=(
+            "Reproduction of 'Maintaining Social Connections through "
+            "Direct Link Placement in Wireless Networks' (ICDCS 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run experiments")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (table1, table2, fig1..fig5) or 'all'",
+    )
+    run.add_argument(
+        "--scale",
+        default="paper",
+        choices=sorted(SCALES),
+        help="parameter preset (default: paper)",
+    )
+    run.add_argument("--seed", type=int, default=1, help="base RNG seed")
+    run.add_argument(
+        "--json",
+        default=None,
+        help="write results to this JSON file (list of experiment dicts)",
+    )
+    run.add_argument(
+        "--precision",
+        type=int,
+        default=4,
+        help="decimal places in rendered tables",
+    )
+    run.add_argument(
+        "--charts",
+        action="store_true",
+        help="also render figure data as ASCII charts",
+    )
+    run.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="run each experiment this many times (seed, seed+1, ...) and "
+        "report mean +/- std",
+    )
+
+    sub.add_parser(
+        "describe", help="print the generated workloads' summary statistics"
+    )
+
+    report = sub.add_parser(
+        "report", help="combine saved --json results into a markdown report"
+    )
+    report.add_argument("json_files", nargs="+", help="result JSON files")
+    report.add_argument(
+        "--output", "-o", required=True, help="markdown file to write"
+    )
+    report.add_argument(
+        "--title", default="MSC reproduction report", help="report heading"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    paper = set(experiment_names())
+    for name in all_experiment_names():
+        tag = "" if name in paper else "  (supplementary)"
+        print(f"{name}{tag}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names: List[str] = args.experiments
+    if len(names) == 1 and names[0].lower() == "all":
+        names = experiment_names()
+    results = []
+    for name in names:
+        start = time.perf_counter()
+        if args.seeds > 1:
+            from repro.exceptions import ValidationError
+            from repro.experiments.stats import run_with_seeds
+
+            try:
+                result = run_with_seeds(
+                    name,
+                    seeds=range(args.seed, args.seed + args.seeds),
+                    scale=args.scale,
+                )
+            except ValidationError as exc:
+                print(
+                    f"[{name}: not aggregatable across seeds ({exc}); "
+                    "falling back to a single run]"
+                )
+                result = run_experiment(
+                    name, scale=args.scale, seed=args.seed
+                )
+        else:
+            result = run_experiment(name, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(result.render(precision=args.precision, charts=args.charts))
+        print(f"[{name} finished in {elapsed:.1f}s]")
+        print()
+        results.append(result.to_json())
+    if args.json:
+        dump_json(results, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_describe() -> int:
+    from repro.experiments.workloads import gowalla_workload, rg_workload
+    from repro.graph.metrics import graph_stats
+
+    rg = rg_workload(seed=1)
+    print(f"RG workload:      {graph_stats(rg.graph)}")
+    gowalla = gowalla_workload()
+    print(f"Gowalla workload: {graph_stats(gowalla.graph)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "describe":
+        return _cmd_describe()
+    if args.command == "report":
+        from repro.experiments.report import write_report
+
+        write_report(args.json_files, args.output, title=args.title)
+        print(f"wrote {args.output}")
+        return 0
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

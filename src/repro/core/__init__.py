@@ -1,0 +1,45 @@
+"""Core MSC algorithms: problem model, objective, bounds, and solvers."""
+
+from repro.core.aea import (
+    AdaptiveEvolutionaryAlgorithm,
+    solve_aea,
+    solve_aea_warmstart,
+)
+from repro.core.bounds import MuFunction, NuFunction
+from repro.core.ea import EvolutionaryAlgorithm, solve_ea
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.exact import solve_exact
+from repro.core.greedy import greedy_placement
+from repro.core.msc_cn import (
+    is_common_node_instance,
+    solve_msc_cn,
+    solve_msc_cn_exact,
+)
+from repro.core.problem import MSCInstance
+from repro.core.random_baseline import solve_random_baseline
+from repro.core.ratio import sandwich_ratio
+from repro.core.registry import get_solver, solver_names
+from repro.core.sandwich import SandwichApproximation, solve_sandwich
+
+__all__ = [
+    "MSCInstance",
+    "SigmaEvaluator",
+    "MuFunction",
+    "NuFunction",
+    "greedy_placement",
+    "SandwichApproximation",
+    "solve_sandwich",
+    "EvolutionaryAlgorithm",
+    "solve_ea",
+    "AdaptiveEvolutionaryAlgorithm",
+    "solve_aea",
+    "solve_aea_warmstart",
+    "solve_random_baseline",
+    "solve_exact",
+    "solve_msc_cn",
+    "solve_msc_cn_exact",
+    "is_common_node_instance",
+    "sandwich_ratio",
+    "get_solver",
+    "solver_names",
+]

@@ -1,0 +1,110 @@
+"""CELF lazy greedy for submodular shortcut placement.
+
+For a *submodular* function (μ, ν, or any MSC-CN objective), marginal gains
+only shrink as the placement grows, so a stale upper bound on a candidate's
+gain is still an upper bound. CELF (Leskovec et al.'s "cost-effective lazy
+forward") keeps candidates in a max-heap by stale gain and re-evaluates only
+the top until it is provably the best — typically re-evaluating a tiny
+fraction of the ``O(n²)`` candidates per round.
+
+Context: this library's plain greedy already scores all candidates in one
+vectorized pass (``add_candidates``), which on numpy-friendly sizes is hard
+to beat. CELF wins when point evaluations are cheap relative to a full scan
+— very large ``n``, or set functions without a vectorized scan. For
+submodular inputs both return placements of equal value (ties may resolve
+differently); the test suite verifies value-equality against plain greedy,
+and applying CELF to the non-submodular σ is a heuristic (stale bounds can
+be violated) and is rejected unless explicitly allowed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.greedy import GAIN_EPSILON
+from repro.exceptions import SolverError
+from repro.types import IndexPair, normalize_index_pair
+from repro.util.validation import check_positive_int
+
+#: A point-evaluable set function: value(edges) -> float, plus .n.
+ValueFunction = Callable[[Sequence[IndexPair]], float]
+
+
+def lazy_greedy_placement(
+    fn,
+    k: int,
+    *,
+    candidates: Optional[Sequence[IndexPair]] = None,
+    assume_submodular: bool = False,
+    stop_when_no_gain: bool = True,
+) -> Tuple[List[IndexPair], int]:
+    """CELF greedy placement over *fn* (must be submodular for the result
+    to coincide with plain greedy).
+
+    Args:
+        fn: set function exposing ``n`` and ``value(edges)``. Functions
+            also exposing ``is_submodular = True`` (as μ and ν do) are
+            accepted directly; anything else requires
+            ``assume_submodular=True`` as an explicit acknowledgment.
+        k: edge budget.
+        candidates: candidate universe; defaults to all index pairs.
+        stop_when_no_gain: stop once the best marginal gain is ≤ 0.
+
+    Returns:
+        ``(placement, evaluations)`` — the chosen edges in selection order
+        and the number of point evaluations spent (the quantity CELF
+        minimizes).
+    """
+    check_positive_int(k, "k")
+    if not assume_submodular and not getattr(fn, "is_submodular", False):
+        raise SolverError(
+            "lazy greedy requires a submodular function; pass "
+            "assume_submodular=True to override (heuristic!)"
+        )
+    n = fn.n
+    if candidates is None:
+        candidates = [
+            (a, b) for a in range(n) for b in range(a + 1, n)
+        ]
+    else:
+        candidates = [normalize_index_pair(a, b) for a, b in candidates]
+
+    placed: List[IndexPair] = []
+    placed_set: Set[IndexPair] = set()
+    current = float(fn.value(placed))
+    evaluations = 1
+    counter = itertools.count()
+    # Heap of (-stale_gain, tiebreak, edge, round_evaluated).
+    heap: List[Tuple[float, int, IndexPair, int]] = []
+    for edge in candidates:
+        gain = float(fn.value([edge])) - current
+        evaluations += 1
+        heapq.heappush(heap, (-gain, next(counter), edge, 0))
+
+    for round_number in range(1, k + 1):
+        best: Optional[Tuple[float, IndexPair]] = None
+        while heap:
+            neg_gain, tie, edge, evaluated_round = heapq.heappop(heap)
+            if edge in placed_set:
+                continue
+            if evaluated_round == round_number:
+                best = (-neg_gain, edge)
+                break
+            fresh = (
+                float(fn.value(placed + [edge])) - current
+            )
+            evaluations += 1
+            heapq.heappush(
+                heap, (-fresh, next(counter), edge, round_number)
+            )
+        if best is None:
+            break
+        gain, edge = best
+        if stop_when_no_gain and gain <= GAIN_EPSILON:
+            break
+        placed.append(edge)
+        placed_set.add(edge)
+        current += gain
+    return placed, evaluations

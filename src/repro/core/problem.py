@@ -1,0 +1,171 @@
+"""The MSC problem instance: graph + important social pairs + requirements.
+
+An instance bundles everything Section III of the paper fixes before the
+optimization starts: the undirected graph with edge lengths, the set ``S`` of
+``m`` important social pairs, the failure-probability threshold ``p_t``
+(equivalently the distance requirement ``d_t = -ln(1 - p_t)``), and the
+shortcut-edge budget ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import InstanceError
+from repro.failure.models import failure_to_length, length_to_failure
+from repro.graph.distances import DistanceOracle
+from repro.graph.graph import Node, WirelessGraph
+from repro.types import IndexPair, NodePair, normalize_index_pair
+from repro.util.validation import (
+    check_fraction,
+    check_nonnegative,
+    check_positive_int,
+)
+
+
+class MSCInstance:
+    """A Maintaining-Social-Connections problem instance.
+
+    Args:
+        graph: the base communication graph (edge lengths already encode
+            link failure probabilities).
+        pairs: the important social pairs ``S`` as node pairs; each pair must
+            consist of two distinct graph nodes. Duplicate pairs are allowed
+            and each copy counts separately toward σ (they are distinct
+            "connections" to maintain).
+        k: shortcut-edge budget (``|F| <= k``).
+        p_threshold: failure-probability threshold ``p_t``; exactly one of
+            *p_threshold* / *d_threshold* must be given.
+        d_threshold: distance requirement ``d_t`` (length space).
+        require_initially_unsatisfied: when True (default), reject pairs whose
+            base-graph distance already meets the requirement. The paper
+            selects pairs this way (§VII-A3), and the upper bound ν's proof
+            relies on it; set to False to accept arbitrary pair sets (the
+            evaluator and bounds still handle base-satisfied pairs
+            correctly).
+    """
+
+    def __init__(
+        self,
+        graph: WirelessGraph,
+        pairs: Sequence[NodePair],
+        k: int,
+        *,
+        p_threshold: Optional[float] = None,
+        d_threshold: Optional[float] = None,
+        require_initially_unsatisfied: bool = True,
+        oracle: Optional[DistanceOracle] = None,
+    ) -> None:
+        if (p_threshold is None) == (d_threshold is None):
+            raise InstanceError(
+                "exactly one of p_threshold / d_threshold must be given"
+            )
+        if d_threshold is None:
+            p = check_fraction(p_threshold, "p_threshold")
+            d_threshold = failure_to_length(p)
+        else:
+            d_threshold = check_nonnegative(d_threshold, "d_threshold")
+        self.graph = graph
+        self.d_threshold = float(d_threshold)
+        self.k = check_positive_int(k, "k")
+        self.oracle = oracle if oracle is not None else DistanceOracle(graph)
+        if oracle is not None and oracle.graph is not graph:
+            raise InstanceError("oracle was built for a different graph")
+
+        self.pairs: List[NodePair] = []
+        self.pair_indices: List[IndexPair] = []
+        for u, w in pairs:
+            if u == w:
+                raise InstanceError(f"social pair ({u!r}, {w!r}) is a self-pair")
+            if not graph.has_node(u) or not graph.has_node(w):
+                raise InstanceError(
+                    f"social pair ({u!r}, {w!r}) references unknown node(s)"
+                )
+            self.pairs.append((u, w))
+            self.pair_indices.append(
+                normalize_index_pair(graph.node_index(u), graph.node_index(w))
+            )
+        if not self.pairs:
+            raise InstanceError("at least one important social pair required")
+
+        if require_initially_unsatisfied:
+            for (u, w), (iu, iw) in zip(self.pairs, self.pair_indices):
+                if self.oracle.distance_by_index(iu, iw) <= self.d_threshold:
+                    raise InstanceError(
+                        f"pair ({u!r}, {w!r}) already meets the distance "
+                        "requirement in the base graph; pass "
+                        "require_initially_unsatisfied=False to allow this"
+                    )
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def m(self) -> int:
+        """Number of important social pairs."""
+        return len(self.pairs)
+
+    @property
+    def n(self) -> int:
+        """Number of graph nodes."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def p_threshold(self) -> float:
+        """Failure-probability threshold ``p_t`` (derived from ``d_t``)."""
+        return length_to_failure(self.d_threshold)
+
+    def pair_nodes(self) -> List[Node]:
+        """Distinct nodes appearing in the social pairs, in first-seen
+        order."""
+        seen = []
+        seen_set = set()
+        for u, w in self.pairs:
+            for node in (u, w):
+                if node not in seen_set:
+                    seen_set.add(node)
+                    seen.append(node)
+        return seen
+
+    def common_node(self) -> Optional[Node]:
+        """The node shared by *all* pairs, if one exists (MSC-CN case).
+
+        Returns ``None`` when no single node appears in every pair. If both
+        endpoints of the first pair are common to all pairs (only possible
+        with duplicated pairs), the first is returned.
+        """
+        candidates = set(self.pairs[0])
+        for u, w in self.pairs[1:]:
+            candidates &= {u, w}
+            if not candidates:
+                return None
+        first = self.pairs[0]
+        for node in first:  # preserve pair order for determinism
+            if node in candidates:
+                return node
+        return None
+
+    # ------------------------------------------------------------ conversion
+
+    def index_pair_to_nodes(self, pair: IndexPair) -> NodePair:
+        """Convert a dense index pair back to a node pair."""
+        return (
+            self.graph.index_node(pair[0]),
+            self.graph.index_node(pair[1]),
+        )
+
+    def edges_to_nodes(
+        self, edges: Sequence[IndexPair]
+    ) -> List[NodePair]:
+        """Convert a shortcut set in index space to node pairs."""
+        return [self.index_pair_to_nodes(e) for e in edges]
+
+    def describe(self) -> str:
+        """Short human-readable description for experiment logs."""
+        return (
+            f"MSCInstance(n={self.n}, e={self.graph.number_of_edges()}, "
+            f"m={self.m}, k={self.k}, p_t={self.p_threshold:.4f}, "
+            f"d_t={self.d_threshold:.4f})"
+        )
+
+    def __repr__(self) -> str:
+        return self.describe()

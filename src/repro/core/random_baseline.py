@@ -1,0 +1,66 @@
+"""Random-selection baseline (paper §VII-C).
+
+The paper's comparison baseline places ``k`` shortcut edges uniformly at
+random, repeats the process 500 times, and keeps the placement maintaining
+the most social connections. It is the natural "no algorithm" reference for
+Figs. 1–2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.problem import MSCInstance
+from repro.core.setfunction import SetFunctionProtocol
+from repro.exceptions import SolverError
+from repro.types import IndexPair, PlacementResult, normalize_index_pair
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.validation import check_positive_int
+
+
+def solve_random_baseline(
+    instance: MSCInstance,
+    seed: SeedLike = None,
+    trials: int = 500,
+    sigma: Optional[SetFunctionProtocol] = None,
+    **_ignored,
+) -> PlacementResult:
+    """Best of *trials* uniform random placements of ``k`` shortcut edges."""
+    check_positive_int(trials, "trials")
+    rng = ensure_rng(seed)
+    sigma_fn = sigma if sigma is not None else SigmaEvaluator(instance)
+    n = sigma_fn.n
+    max_edges = n * (n - 1) // 2
+    k = min(instance.k, max_edges)
+    if n < 2:
+        raise SolverError("random baseline needs at least two nodes")
+
+    best_edges: List[IndexPair] = []
+    best_value = float(sigma_fn.value([]))
+    trace: List[int] = []
+    for _ in range(trials):
+        chosen: Set[IndexPair] = set()
+        while len(chosen) < k:
+            a = rng.randrange(n)
+            b = rng.randrange(n)
+            if a != b:
+                chosen.add(normalize_index_pair(a, b))
+        edges = sorted(chosen)
+        value = float(sigma_fn.value(edges))
+        if value > best_value:
+            best_value = value
+            best_edges = edges
+        trace.append(int(best_value))
+
+    satisfied_fn = getattr(sigma_fn, "satisfied", None)
+    satisfied = satisfied_fn(best_edges) if satisfied_fn is not None else []
+    return PlacementResult(
+        algorithm="random",
+        edges=instance.edges_to_nodes(best_edges),
+        sigma=int(best_value),
+        satisfied=satisfied,
+        evaluations=trials,
+        trace=trace,
+        extras={"trials": trials},
+    )

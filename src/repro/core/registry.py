@@ -1,0 +1,64 @@
+"""Name-based solver registry.
+
+Experiments, benchmarks and the CLI refer to algorithms by short name; this
+registry is the single mapping. All solvers share the signature
+``solve(instance, seed=None, **params) -> PlacementResult``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.aea import solve_aea, solve_aea_warmstart
+from repro.core.ea import solve_ea
+from repro.core.exact import solve_exact
+from repro.core.msc_cn import solve_msc_cn, solve_msc_cn_exact
+from repro.core.problem import MSCInstance
+from repro.core.random_baseline import solve_random_baseline
+from repro.core.sandwich import solve_sandwich
+from repro.exceptions import SolverError
+from repro.types import PlacementResult
+
+Solver = Callable[..., PlacementResult]
+
+_SOLVERS: Dict[str, Solver] = {
+    "sandwich": solve_sandwich,
+    "aa": solve_sandwich,  # the paper calls the sandwich algorithm "AA"
+    "ea": solve_ea,
+    "aea": solve_aea,
+    "aea+warm": solve_aea_warmstart,
+    "random": solve_random_baseline,
+    "exact": solve_exact,
+    "msc_cn": solve_msc_cn,
+    "msc_cn_exact": solve_msc_cn_exact,
+}
+
+
+def solver_names() -> List[str]:
+    """Registered solver names, sorted."""
+    return sorted(_SOLVERS)
+
+
+def get_solver(name: str) -> Solver:
+    """Look up a solver by name (case-insensitive)."""
+    try:
+        return _SOLVERS[name.lower()]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver {name!r}; available: {', '.join(solver_names())}"
+        ) from None
+
+
+def register_solver(name: str, solver: Solver, overwrite: bool = False) -> None:
+    """Register a custom solver under *name* (for downstream extensions)."""
+    key = name.lower()
+    if key in _SOLVERS and not overwrite:
+        raise SolverError(f"solver {name!r} already registered")
+    _SOLVERS[key] = solver
+
+
+def solve(
+    name: str, instance: MSCInstance, seed=None, **params
+) -> PlacementResult:
+    """Convenience: look up *name* and run it on *instance*."""
+    return get_solver(name)(instance, seed=seed, **params)

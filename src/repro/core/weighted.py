@@ -1,0 +1,205 @@
+"""Weighted MSC: social pairs with importance weights.
+
+The paper's conclusion notes its algorithms "could also provide insights
+into the general shortcut edge addition problems in any graphs"; the most
+natural generalization is pairs that are not equally important — the platoon
+commander's link to a squad leader may be worth more than a squad leader's
+link to another. This module provides weighted counterparts of σ, μ and ν
+implementing the same set-function protocol, so *every* solver in the
+library (greedy, sandwich, EA, AEA, random, exact) works on weighted
+instances unchanged.
+
+The sandwich property and submodularity proofs carry over verbatim:
+
+* weighted μ restricts paths to one shortcut edge — still a (now weighted)
+  maximum coverage over pairs, submodular and ≤ weighted σ;
+* weighted ν assigns each node half the *weight sum* of the pairs it
+  appears in (for unit weights this reduces to the paper's half-appearance
+  count), and the same covering argument yields weighted σ ≤ weighted ν.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.bounds import MuFunction, NuFunction
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.problem import MSCInstance
+from repro.exceptions import InstanceError
+from repro.types import IndexPair
+from repro.util.validation import check_nonnegative
+
+
+def _check_weights(
+    instance: MSCInstance, weights: Sequence[float]
+) -> np.ndarray:
+    if len(weights) != instance.m:
+        raise InstanceError(
+            f"{len(weights)} weights for {instance.m} pairs"
+        )
+    return np.array(
+        [check_nonnegative(w, "pair weight") for w in weights], dtype=float
+    )
+
+
+class WeightedSigmaEvaluator:
+    """Weighted objective: total weight of maintained pairs."""
+
+    def __init__(
+        self, instance: MSCInstance, weights: Sequence[float]
+    ) -> None:
+        self.instance = instance
+        self.weights = _check_weights(instance, weights)
+        self._sigma = SigmaEvaluator(instance)
+
+    @property
+    def n(self) -> int:
+        return self.instance.n
+
+    def max_value(self) -> float:
+        return float(self.weights.sum())
+
+    def satisfied(self, edges: Sequence[IndexPair]) -> List[bool]:
+        return self._sigma.satisfied(edges)
+
+    def value(self, edges: Sequence[IndexPair]) -> float:
+        flags = np.array(self._sigma.satisfied(edges), dtype=bool)
+        return float(self.weights @ flags)
+
+    def add_candidates(self, edges: Sequence[IndexPair]) -> np.ndarray:
+        """Weighted one-step lookahead, mirroring
+        :meth:`SigmaEvaluator.add_candidates` with per-pair weights."""
+        n = self.n
+        engine = self._sigma._engine(edges)
+        limit = self._sigma.threshold + self._sigma.tolerance
+        pairs = self.instance.pair_indices
+        sources = sorted({i for pair in pairs for i in pair})
+        batched = engine.distances_from_indices(sources)
+        row_of = {s: i for i, s in enumerate(sources)}
+
+        current = 0.0
+        acc = np.zeros((n, n), dtype=float)
+        for (iu, iw), weight in zip(pairs, self.weights):
+            du = batched[row_of[iu]]
+            if du[iw] <= limit:
+                current += weight
+                continue
+            if weight == 0.0:
+                continue
+            dw = batched[row_of[iw]]
+            mask = (du[:, None] + dw[None, :]) <= limit
+            acc += (mask | mask.T) * weight
+        acc += current
+        np.fill_diagonal(acc, current)
+        return acc
+
+
+class WeightedMuFunction:
+    """Weighted lower bound: μ with per-pair weights."""
+
+    is_submodular = True
+
+    def __init__(
+        self, instance: MSCInstance, weights: Sequence[float]
+    ) -> None:
+        self.instance = instance
+        self.weights = _check_weights(instance, weights)
+        self._mu = MuFunction(instance)
+
+    @property
+    def n(self) -> int:
+        return self.instance.n
+
+    def value(self, edges: Sequence[IndexPair]) -> float:
+        flags = np.array(self._mu.satisfied(edges), dtype=bool)
+        return float(self.weights @ flags)
+
+    def add_candidates(self, edges: Sequence[IndexPair]) -> np.ndarray:
+        n = self.n
+        acc = np.zeros((n, n), dtype=float)
+        current = 0.0
+        for i, weight in enumerate(self.weights):
+            if self._mu.pair_rescued(i, edges):
+                current += weight
+            elif weight > 0.0:
+                acc += self._mu._masks[i] * weight
+        acc += current
+        np.fill_diagonal(acc, current)
+        return acc
+
+
+class WeightedNuFunction:
+    """Weighted upper bound: coverage with pair-weight-scaled node weights.
+
+    A node's weight is half the sum of the weights of the pairs it appears
+    in; the base-satisfied pairs' weight is added as a constant — exactly
+    the construction of :class:`~repro.core.bounds.NuFunction` with counts
+    replaced by weight sums.
+    """
+
+    is_submodular = True
+
+    def __init__(
+        self, instance: MSCInstance, weights: Sequence[float]
+    ) -> None:
+        self.instance = instance
+        self.pair_weights = _check_weights(instance, weights)
+        base = NuFunction(instance)
+        self.pair_nodes = base.pair_nodes
+        self.cover = base.cover
+        node_weight = {node: 0.0 for node in self.pair_nodes}
+        for (u, w), weight in zip(instance.pairs, self.pair_weights):
+            node_weight[u] += weight / 2.0
+            node_weight[w] += weight / 2.0
+        self.weights = np.array(
+            [node_weight[node] for node in self.pair_nodes], dtype=float
+        )
+        sigma = SigmaEvaluator(instance)
+        self.base_weight = float(
+            self.pair_weights
+            @ np.array(sigma.base_satisfied, dtype=bool)
+        )
+
+    @property
+    def n(self) -> int:
+        return self.instance.n
+
+    def covered_nodes(self, edges: Sequence[IndexPair]) -> np.ndarray:
+        covered = np.zeros(len(self.pair_nodes), dtype=bool)
+        for a, b in edges:
+            covered |= self.cover[a, :]
+            covered |= self.cover[b, :]
+        return covered
+
+    def value(self, edges: Sequence[IndexPair]) -> float:
+        return float(
+            self.weights @ self.covered_nodes(edges)
+        ) + self.base_weight
+
+    def add_candidates(self, edges: Sequence[IndexPair]) -> np.ndarray:
+        covered = self.covered_nodes(edges)
+        current = float(self.weights @ covered) + self.base_weight
+        uncovered = np.where(covered, 0.0, self.weights)
+        nw = self.cover @ uncovered
+        overlap = (self.cover * uncovered) @ self.cover.T
+        acc = current + nw[:, None] + nw[None, :] - overlap
+        np.fill_diagonal(acc, current)
+        return acc
+
+
+def weighted_sandwich(
+    instance: MSCInstance,
+    weights: Sequence[float],
+):
+    """A :class:`~repro.core.sandwich.SandwichApproximation` over the
+    weighted objective and its weighted bounds."""
+    from repro.core.sandwich import SandwichApproximation
+
+    return SandwichApproximation(
+        instance,
+        sigma=WeightedSigmaEvaluator(instance, weights),
+        mu=WeightedMuFunction(instance, weights),
+        nu=WeightedNuFunction(instance, weights),
+    )

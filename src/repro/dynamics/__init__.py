@@ -1,0 +1,20 @@
+"""Dynamic-network MSC (paper §VI): topology series and summed objectives."""
+
+from repro.dynamics.prediction import (
+    LinearMotionPredictor,
+    prediction_error,
+    split_trace,
+)
+from repro.dynamics.replanning import ReplanningResult, compare_windows, replan
+from repro.dynamics.series import DynamicMSCInstance, build_dynamic_instance
+
+__all__ = [
+    "DynamicMSCInstance",
+    "build_dynamic_instance",
+    "LinearMotionPredictor",
+    "prediction_error",
+    "split_trace",
+    "replan",
+    "compare_windows",
+    "ReplanningResult",
+]

@@ -1,0 +1,155 @@
+"""Topology prediction for dynamic MSC (paper §VI).
+
+The paper assumes "dynamic topologies and social pairs are given by …
+prediction techniques" and stays agnostic about how. This module supplies
+the standard baseline — constant-velocity extrapolation of node positions —
+plus error metrics, so the prediction→placement→reality pipeline can be
+exercised end to end: place shortcut edges against *predicted* topologies,
+evaluate against the *actual* ones (see
+``repro.experiments.prediction_exp``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ValidationError
+from repro.netgen.tactical import MobilityTrace, Position
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class PredictionError:
+    """Positional prediction error summary (meters, same units as trace).
+
+    Attributes:
+        mean: mean Euclidean error over all (snapshot, node) points.
+        max: worst-case error.
+        per_snapshot: mean error per predicted snapshot (grows with
+            horizon for any real predictor).
+    """
+
+    mean: float
+    max: float
+    per_snapshot: List[float]
+
+
+class LinearMotionPredictor:
+    """Constant-velocity extrapolation from the last *window* snapshots.
+
+    For each node, the velocity is the average displacement per time unit
+    over the observation window; predicted positions continue along it.
+    With ``window=1`` this degenerates to "freeze the last topology", the
+    natural no-motion baseline.
+    """
+
+    def __init__(self, window: int = 3) -> None:
+        self.window = check_positive_int(window, "window")
+
+    def predict(
+        self, observed: MobilityTrace, horizon: int
+    ) -> MobilityTrace:
+        """Predict *horizon* future snapshots following *observed*.
+
+        Snapshot spacing is taken from the observed trace (uniform spacing
+        assumed; the generator produces it).
+        """
+        check_positive_int(horizon, "horizon")
+        if observed.snapshots == 0:
+            raise ValidationError("observed trace is empty")
+        times = observed.times
+        step = (
+            times[-1] - times[-2]
+            if len(times) >= 2
+            else 1.0
+        )
+        window = min(self.window, observed.snapshots)
+        first = observed.snapshots - window
+        velocities: Dict[int, Tuple[float, float]] = {}
+        for node in observed.groups:
+            if window == 1 or times[-1] == times[first]:
+                velocities[node] = (0.0, 0.0)
+                continue
+            x0, y0 = observed.positions[first][node]
+            x1, y1 = observed.positions[-1][node]
+            dt = times[-1] - times[first]
+            velocities[node] = ((x1 - x0) / dt, (y1 - y0) / dt)
+
+        predicted_times: List[float] = []
+        predicted_positions: List[Dict[int, Position]] = []
+        for h in range(1, horizon + 1):
+            t = times[-1] + h * step
+            frame: Dict[int, Position] = {}
+            for node in observed.groups:
+                x, y = observed.positions[-1][node]
+                vx, vy = velocities[node]
+                frame[node] = (x + vx * h * step, y + vy * h * step)
+            predicted_times.append(t)
+            predicted_positions.append(frame)
+        return MobilityTrace(
+            times=predicted_times,
+            positions=predicted_positions,
+            groups=dict(observed.groups),
+            metadata={
+                "predictor": f"linear(window={self.window})",
+                "horizon": horizon,
+            },
+        )
+
+
+def split_trace(
+    trace: MobilityTrace, observed_snapshots: int
+) -> Tuple[MobilityTrace, MobilityTrace]:
+    """Split a trace into an observed prefix and the actual future."""
+    check_positive_int(observed_snapshots, "observed_snapshots")
+    if observed_snapshots >= trace.snapshots:
+        raise ValidationError(
+            f"observed_snapshots={observed_snapshots} leaves no future "
+            f"(trace has {trace.snapshots})"
+        )
+    prefix = MobilityTrace(
+        times=trace.times[:observed_snapshots],
+        positions=trace.positions[:observed_snapshots],
+        groups=dict(trace.groups),
+        metadata=dict(trace.metadata),
+    )
+    future = MobilityTrace(
+        times=trace.times[observed_snapshots:],
+        positions=trace.positions[observed_snapshots:],
+        groups=dict(trace.groups),
+        metadata=dict(trace.metadata),
+    )
+    return prefix, future
+
+
+def prediction_error(
+    actual: MobilityTrace, predicted: MobilityTrace
+) -> PredictionError:
+    """Positional error of *predicted* against *actual* (aligned
+    snapshot-by-snapshot; the shorter one bounds the comparison)."""
+    import math
+
+    count = min(actual.snapshots, predicted.snapshots)
+    if count == 0:
+        raise ValidationError("nothing to compare")
+    per_snapshot: List[float] = []
+    worst = 0.0
+    total = 0.0
+    points = 0
+    for t in range(count):
+        frame_error = 0.0
+        for node in actual.groups:
+            ax, ay = actual.positions[t][node]
+            px, py = predicted.positions[t][node]
+            err = math.hypot(ax - px, ay - py)
+            frame_error += err
+            worst = max(worst, err)
+            total += err
+            points += 1
+        per_snapshot.append(frame_error / len(actual.groups))
+    return PredictionError(
+        mean=total / points,
+        max=worst,
+        per_snapshot=per_snapshot,
+    )

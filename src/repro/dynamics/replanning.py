@@ -1,0 +1,99 @@
+"""Sliding-window re-planning for dynamic MSC.
+
+The paper places one shortcut set for the whole horizon (§VI). When the
+shortcut links are UAV relays or steerable satellite beams, an operator can
+*re-plan*: every ``window`` time instances, compute a fresh placement for
+the upcoming window (same budget k — the hardware is reused, not
+duplicated). The gain is a placement tuned to current topology; the cost is
+relocation churn (edges torn down and re-established).
+
+:func:`replan` realizes the strategy and accounts both sides;
+``window == T`` degenerates to the paper's static placement, ``window == 1``
+is per-snapshot re-optimization (the offline upper reference for this
+budget). The ``replanning`` supplementary experiment sweeps the tradeoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.dynamics.series import DynamicMSCInstance
+from repro.types import IndexPair, NodePair, PlacementResult
+from repro.util.validation import check_positive_int
+
+#: A solver over a DynamicMSCInstance, e.g. ``lambda d: d.solve_sandwich()``.
+WindowSolver = Callable[[DynamicMSCInstance], PlacementResult]
+
+
+@dataclass
+class ReplanningResult:
+    """Outcome of a re-planned horizon.
+
+    Attributes:
+        window: re-planning period (time instances per placement).
+        placements: one edge list (node pairs) per window, in order.
+        sigma_per_topology: maintained pairs at each time instance, under
+            the placement active there.
+        relocations: total edge changes across consecutive windows (edges
+            newly established; teardowns mirror them).
+    """
+
+    window: int
+    placements: List[List[NodePair]] = field(default_factory=list)
+    sigma_per_topology: List[int] = field(default_factory=list)
+    relocations: int = 0
+
+    @property
+    def total_sigma(self) -> int:
+        return sum(self.sigma_per_topology)
+
+    def summary(self) -> str:
+        return (
+            f"replan(window={self.window}): total σ={self.total_sigma}, "
+            f"{len(self.placements)} placements, "
+            f"{self.relocations} relocations"
+        )
+
+
+def replan(
+    dyn: DynamicMSCInstance,
+    window: int,
+    solver: Optional[WindowSolver] = None,
+) -> ReplanningResult:
+    """Re-plan the placement every *window* time instances.
+
+    Each window's placement is computed from that window's topologies only
+    (assuming, like §VI, that near-term predictions are available) and
+    scored on the same topologies.
+    """
+    check_positive_int(window, "window")
+    if solver is None:
+        solver = lambda d: d.solve_sandwich()  # noqa: E731
+
+    result = ReplanningResult(window=window)
+    previous: Set[IndexPair] = set()
+    for start in range(0, dyn.T, window):
+        chunk = DynamicMSCInstance(
+            dyn.instances[start : start + window]
+        )
+        placement = solver(chunk)
+        edges = chunk.edges_to_index_pairs(placement.edges)
+        result.placements.append(list(placement.edges))
+        result.sigma_per_topology.extend(
+            chunk.sigma_per_topology(edges)
+        )
+        current = set(edges)
+        if start > 0:  # establishing the first placement is free
+            result.relocations += len(current - previous)
+        previous = current
+    return result
+
+
+def compare_windows(
+    dyn: DynamicMSCInstance,
+    windows: Sequence[int],
+    solver: Optional[WindowSolver] = None,
+) -> List[ReplanningResult]:
+    """Run :func:`replan` for each window size (the tradeoff curve)."""
+    return [replan(dyn, window, solver=solver) for window in windows]

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the MSC reproduction library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch a single base class at the boundary of their application.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for structural problems with a graph (unknown node, bad edge)."""
+
+
+class ValidationError(ReproError):
+    """Raised when user-supplied values fail validation (probabilities,
+    budgets, thresholds, malformed records)."""
+
+
+class InstanceError(ReproError):
+    """Raised when an MSC problem instance is inconsistent (e.g. social pairs
+    referencing nodes outside the graph)."""
+
+
+class TraceFormatError(ReproError):
+    """Raised when a mobility/check-in trace file cannot be parsed."""
+
+
+class SolverError(ReproError):
+    """Raised when an algorithm is invoked with unusable configuration."""

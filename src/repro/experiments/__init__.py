@@ -1,0 +1,28 @@
+"""Experiment harness: one runner per table/figure of the paper (§VII),
+supplementary studies, multi-seed aggregation, and markdown reporting."""
+
+from repro.experiments.report import build_report, write_report
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    SUPPLEMENTARY,
+    all_experiment_names,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.stats import aggregate_results, run_with_seeds
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "SUPPLEMENTARY",
+    "experiment_names",
+    "all_experiment_names",
+    "get_experiment",
+    "run_experiment",
+    "aggregate_results",
+    "run_with_seeds",
+    "build_report",
+    "write_report",
+]

@@ -1,0 +1,156 @@
+"""Experiment scale presets.
+
+``paper`` reproduces each experiment at the parameters reported in §VII;
+``quick`` shrinks iteration counts and grids so the full suite (and the
+pytest benchmarks built on it) runs in seconds while exercising identical
+code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One named scale preset. Fields mirror the knobs the paper varies."""
+
+    name: str
+    # Table I (RG ratio grid)
+    table1_p: Sequence[float]
+    table1_k: Sequence[int]
+    table1_m: int
+    # Table II (Gowalla ratio grid)
+    table2_p: Sequence[float]
+    table2_k: Sequence[int]
+    table2_m: int
+    # Fig 1 (placement showcase)
+    fig1_n: int
+    fig1_m: int
+    fig1_k: int
+    fig1_p: float
+    # Fig 2 (AA vs random)
+    fig2_k: Sequence[int]
+    fig2_rg_p: Sequence[float]
+    fig2_gw_p: Sequence[float]
+    fig2_m_rg: int
+    fig2_m_gw: int
+    fig2_trials: int
+    # Fig 3 (AA vs EA vs AEA over k)
+    fig3_k: Sequence[int]
+    fig3_rg_p: Sequence[float]
+    fig3_gw_p: Sequence[float]
+    fig3_m_rg: int
+    fig3_m_gw: int
+    fig3_iterations: int
+    # Fig 4 (iteration sweep)
+    fig4_checkpoints: Sequence[int]
+    fig4_k: Sequence[int]
+    fig4_rg_p: float
+    fig4_gw_p: float
+    # Fig 5 (dynamic)
+    fig5_n: int
+    fig5_m: int
+    fig5_T: int
+    fig5_k: Sequence[int]
+    fig5_p: Sequence[float]
+    fig5_iterations: int
+    fig5_T_sweep: Sequence[int]
+    fig5_T_k: Sequence[int]
+    fig5_T_p: float
+    rg_n: int = 100
+
+
+PAPER = Scale(
+    name="paper",
+    table1_p=(0.04, 0.08, 0.11, 0.14, 0.18),
+    table1_k=(2, 4, 6, 8, 10),
+    table1_m=17,
+    table2_p=(0.23, 0.27, 0.31, 0.35),
+    table2_k=(2, 4, 6, 8, 10),
+    table2_m=63,
+    fig1_n=50,
+    fig1_m=12,
+    fig1_k=3,
+    fig1_p=0.08,
+    fig2_k=(2, 4, 6, 8, 10),
+    fig2_rg_p=(0.08, 0.14),
+    fig2_gw_p=(0.23, 0.31),
+    fig2_m_rg=80,
+    fig2_m_gw=76,
+    fig2_trials=500,
+    fig3_k=(2, 4, 6, 8, 10),
+    fig3_rg_p=(0.08, 0.14, 0.18),
+    fig3_gw_p=(0.23, 0.27, 0.31),
+    fig3_m_rg=80,
+    fig3_m_gw=76,
+    fig3_iterations=500,
+    fig4_checkpoints=(25, 50, 100, 200, 300, 400, 500),
+    fig4_k=(4, 8),
+    fig4_rg_p=0.14,
+    fig4_gw_p=0.23,
+    fig5_n=50,
+    fig5_m=30,
+    fig5_T=30,
+    fig5_k=(5, 10, 15, 20),
+    fig5_p=(0.11, 0.12),
+    fig5_iterations=500,
+    fig5_T_sweep=(5, 10, 15, 20, 25, 30),
+    fig5_T_k=(10, 20),
+    fig5_T_p=0.12,
+)
+
+QUICK = Scale(
+    name="quick",
+    table1_p=(0.08, 0.14),
+    table1_k=(2, 4),
+    table1_m=12,
+    table2_p=(0.23, 0.31),
+    table2_k=(2, 4),
+    table2_m=25,
+    fig1_n=40,
+    fig1_m=8,
+    fig1_k=2,
+    fig1_p=0.08,
+    fig2_k=(2, 4),
+    fig2_rg_p=(0.08,),
+    fig2_gw_p=(0.23,),
+    fig2_m_rg=25,
+    fig2_m_gw=25,
+    fig2_trials=60,
+    fig3_k=(2, 4),
+    fig3_rg_p=(0.08,),
+    fig3_gw_p=(0.23,),
+    fig3_m_rg=25,
+    fig3_m_gw=25,
+    fig3_iterations=60,
+    fig4_checkpoints=(10, 20, 40, 60),
+    fig4_k=(4,),
+    fig4_rg_p=0.14,
+    fig4_gw_p=0.23,
+    fig5_n=30,
+    fig5_m=10,
+    fig5_T=6,
+    fig5_k=(3, 6),
+    fig5_p=(0.11,),
+    fig5_iterations=40,
+    fig5_T_sweep=(2, 4, 6),
+    fig5_T_k=(4,),
+    fig5_T_p=0.12,
+    rg_n=60,
+)
+
+SCALES: Dict[str, Scale] = {"paper": PAPER, "quick": QUICK}
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a scale preset by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown scale {name!r}; available: {', '.join(sorted(SCALES))}"
+        ) from None

@@ -1,0 +1,101 @@
+"""Fig. 2: Approximation Algorithm vs. random selection — maintained
+connections as a function of the budget k, for several thresholds p_t, on
+both the RG graph and the Gowalla network (paper §VII-C)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.random_baseline import solve_random_baseline
+from repro.core.sandwich import SandwichApproximation
+from repro.experiments.config import Scale, get_scale
+from repro.experiments.results import ExperimentResult
+from repro.experiments.workloads import Workload, gowalla_workload, rg_workload
+from repro.util.rng import SeedLike
+
+
+def _sweep(
+    workload: Workload,
+    p_values: Sequence[float],
+    budgets: Sequence[int],
+    m: int,
+    trials: int,
+    seed,
+) -> List[tuple]:
+    series = []
+    for p_t in p_values:
+        aa_values: List[int] = []
+        random_values: List[int] = []
+        instance = workload.instance(
+            p_t, m=m, k=max(budgets), seed=(seed, workload.name, p_t)
+        )
+        for k in budgets:
+            aa_values.append(SandwichApproximation(instance).solve(k=k).sigma)
+            random_inst = instance  # same pairs; budget passed per-solve
+            baseline = solve_random_baseline(
+                _with_budget(random_inst, k),
+                seed=(seed, workload.name, p_t, k),
+                trials=trials,
+            )
+            random_values.append(baseline.sigma)
+        series.append((f"AA p_t={p_t}", aa_values))
+        series.append((f"random p_t={p_t}", random_values))
+    return series
+
+
+def _with_budget(instance, k):
+    """Clone-with-budget: the random baseline reads ``instance.k``."""
+    from repro.core.problem import MSCInstance
+
+    return MSCInstance(
+        instance.graph,
+        instance.pairs,
+        k,
+        d_threshold=instance.d_threshold,
+        oracle=instance.oracle,
+        require_initially_unsatisfied=False,
+    )
+
+
+def run_fig2(scale: str = "paper", seed: SeedLike = 1) -> ExperimentResult:
+    """Regenerate Fig. 2. Expected shape: AA dominates random at every
+    (p_t, k); both curves grow with k and with p_t."""
+    preset: Scale = get_scale(scale)
+    budgets = list(preset.fig2_k)
+
+    result = ExperimentResult(
+        name="fig2",
+        title="Maintained connections: AA vs. random selection",
+        params={
+            "scale": scale,
+            "seed": seed,
+            "k": budgets,
+            "trials": preset.fig2_trials,
+            "m_rg": preset.fig2_m_rg,
+            "m_gowalla": preset.fig2_m_gw,
+        },
+    )
+
+    rg = rg_workload(seed=seed, n=preset.rg_n)
+    result.add_series(
+        f"(a) RG graph, n={preset.rg_n}, m={preset.fig2_m_rg}",
+        "k",
+        budgets,
+        _sweep(
+            rg, preset.fig2_rg_p, budgets, preset.fig2_m_rg,
+            preset.fig2_trials, seed,
+        ),
+    )
+
+    gowalla = gowalla_workload()
+    result.add_series(
+        f"(b) Gowalla, n={gowalla.graph.number_of_nodes()}, "
+        f"m={preset.fig2_m_gw}",
+        "k",
+        budgets,
+        _sweep(
+            gowalla, preset.fig2_gw_p, budgets, preset.fig2_m_gw,
+            preset.fig2_trials, seed,
+        ),
+    )
+    return result

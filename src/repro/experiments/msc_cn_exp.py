@@ -1,0 +1,92 @@
+"""Supplementary experiment: the MSC-CN special case (paper §IV).
+
+The paper proves MSC-CN is submodular and that greedy achieves
+``(1 - 1/e)`` of optimal (Theorem 5), but reports no evaluation for it. This
+supplementary experiment fills that gap on the disaster-recovery workload of
+the introduction: a control center with many rescue-team partners. It
+compares the dedicated max-coverage solver against the general algorithms
+and, on small instances, against the exact optimum — empirically confirming
+the theorem's bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.msc_cn import solve_msc_cn, solve_msc_cn_exact
+from repro.core.problem import MSCInstance
+from repro.core.random_baseline import solve_random_baseline
+from repro.core.sandwich import SandwichApproximation
+from repro.exceptions import SolverError
+from repro.experiments.results import ExperimentResult
+from repro.experiments.workloads import rg_workload
+from repro.netgen.pairs import select_common_node_pairs
+from repro.util.rng import SeedLike
+
+APPROX = 1 - 1 / math.e
+
+
+def run_msc_cn(scale: str = "paper", seed: SeedLike = 1) -> ExperimentResult:
+    """MSC-CN: greedy coverage vs general AA vs random (vs exact when
+    feasible). Expected: greedy ≈ AA ≫ random, and greedy within
+    ``(1 - 1/e)`` of exact wherever exact is computable."""
+    if scale == "paper":
+        n, m, budgets, instances = 100, 25, [2, 4, 6, 8], 5
+    else:
+        n, m, budgets, instances = 40, 8, [2, 3], 2
+    result = ExperimentResult(
+        name="msc_cn",
+        title="MSC-CN (common node): coverage greedy vs general solvers",
+        params={
+            "scale": scale, "seed": seed, "n": n, "m": m,
+            "k": budgets, "instances": instances,
+        },
+    )
+    rows: List[List[object]] = []
+    bound_ok = True
+    for i in range(instances):
+        workload = rg_workload(seed=(seed, "cn", i), n=n)
+        graph = workload.graph
+        # Common node: a node on the periphery so partners are far away.
+        common = min(
+            workload.positions,
+            key=lambda v: workload.positions[v][0] + workload.positions[v][1],
+        )
+        p_t = 0.1
+        try:
+            pairs = select_common_node_pairs(
+                graph, common, m=m, p_threshold=p_t,
+                seed=(seed, "cn-pairs", i), oracle=workload.oracle,
+            )
+        except Exception:
+            continue  # peripheral node with too few distant partners
+        for k in budgets:
+            instance = MSCInstance(
+                graph, pairs, k, p_threshold=p_t, oracle=workload.oracle
+            )
+            cn = solve_msc_cn(instance)
+            aa = SandwichApproximation(instance).solve()
+            rnd = solve_random_baseline(
+                instance, seed=(seed, "cn-rnd", i, k), trials=100
+            )
+            exact_sigma: object = "-"
+            try:
+                exact_sigma = solve_msc_cn_exact(instance).sigma
+                if cn.sigma < APPROX * exact_sigma - 1e-9:
+                    bound_ok = False
+            except SolverError:
+                pass  # search space beyond the work limit; skip this cell
+            rows.append(
+                [i, k, cn.sigma, aa.sigma, rnd.sigma, exact_sigma]
+            )
+    result.add_table(
+        "MSC-CN comparison",
+        ["instance", "k", "coverage greedy", "AA", "random", "exact"],
+        rows,
+    )
+    result.notes.append(
+        "greedy within (1-1/e) of exact wherever exact computed: "
+        + ("yes" if bound_ok else "NO — Theorem 5 violated?!")
+    )
+    return result

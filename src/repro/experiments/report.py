@@ -1,0 +1,116 @@
+"""Combined markdown report from saved experiment JSON results.
+
+``msc-repro run ... --json out.json`` archives results; this module turns
+one or more such archives into a single markdown document (tables and
+series become markdown tables), so a full reproduction run can be published
+as one artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.exceptions import ValidationError
+from repro.util.serialization import load_json
+
+PathLike = Union[str, Path]
+
+
+def _md_escape(cell: Any, precision: int = 4) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell).replace("|", "\\|")
+
+
+def _md_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], precision: int
+) -> str:
+    lines = [
+        "| " + " | ".join(_md_escape(h) for h in headers) + " |",
+        "|" + "---|" * len(headers),
+    ]
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(_md_escape(c, precision) for c in row)
+            + " |"
+        )
+    return "\n".join(lines)
+
+
+def result_to_markdown(data: Dict[str, Any], precision: int = 4) -> str:
+    """One experiment result dict (from ``ExperimentResult.to_json``) as a
+    markdown section."""
+    for key in ("name", "title"):
+        if key not in data:
+            raise ValidationError(f"result payload missing {key!r}")
+    blocks: List[str] = [f"## {data['name']} — {data['title']}"]
+    params = data.get("params") or {}
+    if params:
+        rendered = ", ".join(
+            f"`{k}={v}`"
+            for k, v in sorted(params.items())
+            if k != "positions"  # bulky layout payloads don't belong here
+        )
+        blocks.append(f"Parameters: {rendered}")
+    for table in data.get("tables", []):
+        blocks.append(f"**{table['title']}**")
+        blocks.append(
+            _md_table(table["headers"], table["rows"], precision)
+        )
+    for fig in data.get("series", []):
+        blocks.append(f"**{fig['title']}**")
+        headers = [fig["x_label"]] + [name for name, _v in fig["series"]]
+        rows = []
+        for i, x in enumerate(fig["x"]):
+            rows.append(
+                [x] + [values[i] for _name, values in fig["series"]]
+            )
+        blocks.append(_md_table(headers, rows, precision))
+    for note in data.get("notes", []):
+        blocks.append(f"> {note}")
+    return "\n\n".join(blocks)
+
+
+def build_report(
+    json_paths: Sequence[PathLike],
+    *,
+    title: str = "MSC reproduction report",
+    precision: int = 4,
+) -> str:
+    """Markdown report combining every result in *json_paths*.
+
+    Each file may hold a single result dict or a list of them (both shapes
+    are produced by the CLI).
+    """
+    sections: List[str] = [f"# {title}"]
+    for path in json_paths:
+        data = load_json(path)
+        results = data if isinstance(data, list) else [data]
+        for result in results:
+            if not isinstance(result, dict):
+                raise ValidationError(
+                    f"{path}: expected result dict(s), got "
+                    f"{type(result).__name__}"
+                )
+            sections.append(result_to_markdown(result, precision))
+    return "\n\n".join(sections) + "\n"
+
+
+def write_report(
+    json_paths: Sequence[PathLike],
+    output: PathLike,
+    *,
+    title: str = "MSC reproduction report",
+    precision: int = 4,
+) -> None:
+    """Write :func:`build_report` output to *output*."""
+    target = Path(output)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        build_report(json_paths, title=title, precision=precision),
+        encoding="utf-8",
+    )

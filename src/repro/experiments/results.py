@@ -1,0 +1,124 @@
+"""Experiment result container with text and JSON rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.util.serialization import dump_json
+from repro.util.tables import render_series, render_table
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform output of every experiment runner.
+
+    Attributes:
+        name: experiment id ("table1" ... "fig5").
+        title: human-readable title echoing the paper's caption.
+        params: the parameters the run used (seeds included).
+        tables: list of ``{"title", "headers", "rows"}`` dicts.
+        series: list of ``{"title", "x_label", "x", "series": [(name,
+            values), ...]}`` dicts — figure-shaped data.
+        notes: free-form observations (e.g. shape checks).
+    """
+
+    name: str
+    title: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    tables: List[Dict[str, Any]] = field(default_factory=list)
+    series: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_table(
+        self,
+        title: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[Any]],
+    ) -> None:
+        self.tables.append(
+            {"title": title, "headers": list(headers),
+             "rows": [list(r) for r in rows]}
+        )
+
+    def add_series(
+        self,
+        title: str,
+        x_label: str,
+        x: Sequence[Any],
+        series: Sequence,
+    ) -> None:
+        self.series.append(
+            {
+                "title": title,
+                "x_label": x_label,
+                "x": list(x),
+                "series": [(name, list(values)) for name, values in series],
+            }
+        )
+
+    def render(self, precision: int = 4, charts: bool = False) -> str:
+        """Full plain-text report.
+
+        With ``charts=True``, series whose x values are numeric are
+        additionally rendered as ASCII line charts (the figure's shape).
+        """
+        blocks: List[str] = [f"== {self.name}: {self.title} =="]
+        if self.params:
+            blocks.append(
+                "params: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+            )
+        for table in self.tables:
+            blocks.append(
+                render_table(
+                    table["headers"],
+                    table["rows"],
+                    title=table["title"],
+                    precision=precision,
+                )
+            )
+        for fig in self.series:
+            blocks.append(
+                render_series(
+                    fig["x_label"],
+                    fig["x"],
+                    fig["series"],
+                    title=fig["title"],
+                    precision=precision,
+                )
+            )
+            if charts:
+                chart = self._chart_or_none(fig)
+                if chart is not None:
+                    blocks.append(chart)
+        for note in self.notes:
+            blocks.append(f"note: {note}")
+        return "\n\n".join(blocks)
+
+    @staticmethod
+    def _chart_or_none(fig: Dict[str, Any]) -> Optional[str]:
+        from repro.util.charts import render_chart
+
+        try:
+            x = [float(v) for v in fig["x"]]
+        except (TypeError, ValueError):
+            return None  # categorical x axis; table only
+        try:
+            return render_chart(x, fig["series"], title=fig["title"])
+        except ValueError:
+            return None
+
+    def to_json(self, path: Optional[str] = None) -> Dict[str, Any]:
+        """Plain-dict form; written to *path* when given."""
+        data = {
+            "name": self.name,
+            "title": self.title,
+            "params": self.params,
+            "tables": self.tables,
+            "series": self.series,
+            "notes": self.notes,
+        }
+        if path is not None:
+            dump_json(data, path)
+        return data

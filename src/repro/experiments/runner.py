@@ -1,0 +1,96 @@
+"""Experiment registry and top-level runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import ValidationError
+from repro.experiments.ablations import (
+    run_ablation_aea,
+    run_ablation_ea_mutation,
+    run_ablation_sandwich,
+    run_ablation_warmstart,
+)
+from repro.experiments.delivery_exp import run_delivery
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.generality_exp import run_generality
+from repro.experiments.msc_cn_exp import run_msc_cn
+from repro.experiments.prediction_exp import run_prediction
+from repro.experiments.replanning_exp import run_replanning
+from repro.experiments.results import ExperimentResult
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.util.rng import SeedLike
+
+Runner = Callable[..., ExperimentResult]
+
+#: The paper's tables and figures.
+EXPERIMENTS: Dict[str, Runner] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+}
+
+#: Supplementary studies beyond the paper's evaluation (ablations and the
+#: MSC-CN special case, which the paper proves about but never measures).
+#: Included in lookups but not in "run all".
+SUPPLEMENTARY: Dict[str, Runner] = {
+    "ablation_sandwich": run_ablation_sandwich,
+    "ablation_aea": run_ablation_aea,
+    "ablation_ea": run_ablation_ea_mutation,
+    "ablation_warmstart": run_ablation_warmstart,
+    "msc_cn": run_msc_cn,
+    "delivery": run_delivery,
+    "prediction": run_prediction,
+    "generality": run_generality,
+    "replanning": run_replanning,
+}
+
+
+def experiment_names() -> List[str]:
+    """The paper's experiments (what "run all" runs)."""
+    return sorted(EXPERIMENTS)
+
+
+def all_experiment_names() -> List[str]:
+    """Paper experiments plus supplementary studies."""
+    return sorted({**EXPERIMENTS, **SUPPLEMENTARY})
+
+
+def get_experiment(name: str) -> Runner:
+    """Look up an experiment runner by id ("table1" ... "fig5", or a
+    supplementary id like "ablation_aea")."""
+    key = name.lower()
+    if key in EXPERIMENTS:
+        return EXPERIMENTS[key]
+    if key in SUPPLEMENTARY:
+        return SUPPLEMENTARY[key]
+    raise ValidationError(
+        f"unknown experiment {name!r}; "
+        f"available: {', '.join(all_experiment_names())}"
+    )
+
+
+def run_experiment(
+    name: str, scale: str = "paper", seed: SeedLike = 1
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(name)(scale=scale, seed=seed)
+
+
+def run_all(
+    scale: str = "paper",
+    seed: SeedLike = 1,
+    names: Optional[List[str]] = None,
+) -> List[ExperimentResult]:
+    """Run every (or the selected) experiment, in declared order."""
+    selected = names if names is not None else experiment_names()
+    return [run_experiment(name, scale=scale, seed=seed) for name in selected]

@@ -1,0 +1,117 @@
+"""Multi-seed experiment statistics: mean ± std aggregation.
+
+The paper reports single runs; serious reproduction wants error bars. This
+module re-runs an experiment across seeds and merges the numeric content:
+series values become ``mean`` with a parallel ``±std`` series, table cells
+(numeric ones) become means. Non-numeric cells must agree across seeds or
+aggregation refuses — silently averaging labels would hide a bug.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Sequence
+
+from repro.exceptions import ValidationError
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import get_experiment
+from repro.util.validation import check_positive_int
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _std(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    m = _mean(values)
+    return math.sqrt(
+        sum((v - m) ** 2 for v in values) / (len(values) - 1)
+    )
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def aggregate_results(
+    results: Sequence[ExperimentResult],
+) -> ExperimentResult:
+    """Merge same-shaped results from different seeds into mean ± std."""
+    if not results:
+        raise ValidationError("nothing to aggregate")
+    first = results[0]
+    for other in results[1:]:
+        if other.name != first.name:
+            raise ValidationError(
+                f"cannot aggregate {first.name!r} with {other.name!r}"
+            )
+
+    merged = ExperimentResult(
+        name=first.name,
+        title=f"{first.title} (mean of {len(results)} seeds)",
+        params={
+            **{
+                k: v
+                for k, v in first.params.items()
+                if k not in ("seed", "positions")
+            },
+            "seeds": len(results),
+        },
+    )
+
+    # ---- tables -------------------------------------------------------
+    for t_index, table in enumerate(first.tables):
+        all_rows = [r.tables[t_index]["rows"] for r in results]
+        if any(len(rows) != len(all_rows[0]) for rows in all_rows):
+            raise ValidationError(
+                f"table {table['title']!r} row counts differ across seeds"
+            )
+        rows_out: List[List[Any]] = []
+        for row_cells in zip(*all_rows):
+            row: List[Any] = []
+            for cells in zip(*row_cells):
+                if all(_is_number(c) for c in cells):
+                    row.append(_mean([float(c) for c in cells]))
+                elif len(set(map(str, cells))) == 1:
+                    row.append(cells[0])
+                else:
+                    raise ValidationError(
+                        f"non-numeric cells disagree across seeds: {cells!r}"
+                    )
+            rows_out.append(row)
+        merged.add_table(table["title"], table["headers"], rows_out)
+
+    # ---- series -------------------------------------------------------
+    for s_index, fig in enumerate(first.series):
+        all_figs = [r.series[s_index] for r in results]
+        if any(f["x"] != fig["x"] for f in all_figs):
+            raise ValidationError(
+                f"series {fig['title']!r} x-axes differ across seeds"
+            )
+        out_series = []
+        for series_pos, (name, _values) in enumerate(fig["series"]):
+            stacks = [
+                f["series"][series_pos][1] for f in all_figs
+            ]
+            means = [_mean(col) for col in zip(*stacks)]
+            stds = [_std(col) for col in zip(*stacks)]
+            out_series.append((name, means))
+            out_series.append((f"{name} ±std", stds))
+        merged.add_series(fig["title"], fig["x_label"], fig["x"], out_series)
+
+    return merged
+
+
+def run_with_seeds(
+    name: str,
+    seeds: Sequence[int],
+    scale: str = "quick",
+) -> ExperimentResult:
+    """Run experiment *name* once per seed and aggregate."""
+    check_positive_int(len(seeds), "number of seeds")
+    runner = get_experiment(name)
+    return aggregate_results(
+        [runner(scale=scale, seed=seed) for seed in seeds]
+    )

@@ -1,0 +1,21 @@
+"""Link failure models and probability/length transforms."""
+
+from repro.failure.models import (
+    ConstantFailure,
+    DistanceProportionalFailure,
+    ExponentialDistanceFailure,
+    failure_to_length,
+    length_to_failure,
+    path_failure_probability,
+    path_length_from_failures,
+)
+
+__all__ = [
+    "failure_to_length",
+    "length_to_failure",
+    "path_failure_probability",
+    "path_length_from_failures",
+    "ConstantFailure",
+    "DistanceProportionalFailure",
+    "ExponentialDistanceFailure",
+]

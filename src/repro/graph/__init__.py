@@ -1,0 +1,22 @@
+"""Graph substrate: weighted undirected graphs, shortest paths, and
+shortcut-aware distance computation."""
+
+from repro.graph.distances import DistanceOracle
+from repro.graph.graph import WirelessGraph
+from repro.graph.paths import (
+    all_pairs_distance_matrix,
+    dijkstra,
+    shortest_path,
+    shortest_path_length,
+)
+from repro.graph.shortcuts import ShortcutDistanceEngine
+
+__all__ = [
+    "WirelessGraph",
+    "DistanceOracle",
+    "ShortcutDistanceEngine",
+    "dijkstra",
+    "shortest_path",
+    "shortest_path_length",
+    "all_pairs_distance_matrix",
+]

@@ -1,0 +1,71 @@
+"""Cached all-pairs distance oracle for a fixed base graph.
+
+Every MSC algorithm repeatedly asks for base-graph distances between social
+pair endpoints and candidate shortcut endpoints. :class:`DistanceOracle`
+computes the APSP matrix once and serves O(1) queries plus numpy row views
+for the vectorized evaluators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.graph import Node, WirelessGraph
+from repro.graph.paths import all_pairs_distance_matrix
+
+
+class DistanceOracle:
+    """All-pairs shortest-path distances of a base graph, computed lazily.
+
+    The matrix is indexed by the graph's dense node indices; node-keyed
+    convenience accessors are provided. The oracle assumes the graph is not
+    mutated after the first query — callers that modify the graph must build
+    a fresh oracle.
+    """
+
+    def __init__(
+        self, graph: WirelessGraph, use_scipy: Optional[bool] = None
+    ) -> None:
+        self._graph = graph
+        self._use_scipy = use_scipy
+        self._matrix: Optional[np.ndarray] = None
+
+    @property
+    def graph(self) -> WirelessGraph:
+        return self._graph
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full ``n x n`` distance matrix (computed on first access).
+
+        The returned array is the oracle's internal buffer; treat it as
+        read-only.
+        """
+        if self._matrix is None:
+            self._matrix = all_pairs_distance_matrix(
+                self._graph, use_scipy=self._use_scipy
+            )
+        return self._matrix
+
+    def distance(self, u: Node, v: Node) -> float:
+        """Base-graph distance between nodes *u* and *v*."""
+        return float(
+            self.matrix[self._graph.node_index(u), self._graph.node_index(v)]
+        )
+
+    def distance_by_index(self, iu: int, iv: int) -> float:
+        """Base-graph distance between dense indices *iu* and *iv*."""
+        return float(self.matrix[iu, iv])
+
+    def row(self, node: Node) -> np.ndarray:
+        """Distances from *node* to every node, as a read-only numpy row."""
+        return self.matrix[self._graph.node_index(node), :]
+
+    def row_by_index(self, index: int) -> np.ndarray:
+        """Distances from dense *index* to every node."""
+        return self.matrix[index, :]
+
+    def number_of_nodes(self) -> int:
+        return self._graph.number_of_nodes()

@@ -1,0 +1,132 @@
+"""Yen's algorithm: k shortest loopless paths.
+
+The paper's introduction motivates MSC against multipath routing ("multipath
+routing [5] or even flooding could be used to improve the data forwarding
+performance; [but] each path may still experience a high failure rate").
+The delivery simulator (``repro.sim``) quantifies that argument, and needs
+the k most reliable paths per pair — which, in length space, are exactly the
+k shortest loopless paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Set, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Node, WirelessGraph
+from repro.graph.paths import shortest_path
+from repro.util.validation import check_positive_int
+
+Path = List[Node]
+
+
+def _path_length(graph: WirelessGraph, path: Path) -> float:
+    return sum(graph.length(a, b) for a, b in zip(path, path[1:]))
+
+
+def _shortest_path_avoiding(
+    graph: WirelessGraph,
+    source: Node,
+    target: Node,
+    banned_edges: Set[Tuple[Node, Node]],
+    banned_nodes: Set[Node],
+) -> Optional[Tuple[float, Path]]:
+    """Dijkstra from *source* to *target* skipping banned edges/nodes.
+
+    Banned edges are undirected (both orientations are stored by callers).
+    Returns None when no path remains.
+    """
+    import heapq as hq
+    import math
+
+    src = graph.node_index(source)
+    dst = graph.node_index(target)
+    n = graph.number_of_nodes()
+    banned_node_idx = {graph.node_index(v) for v in banned_nodes}
+    banned_edge_idx = {
+        (graph.node_index(a), graph.node_index(b)) for a, b in banned_edges
+    }
+    if src in banned_node_idx or dst in banned_node_idx:
+        return None
+    dist = [math.inf] * n
+    parent: List[Optional[int]] = [None] * n
+    dist[src] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, src)]
+    while heap:
+        d, u = hq.heappop(heap)
+        if d > dist[u]:
+            continue
+        if u == dst:
+            break
+        for v, length in graph.neighbors_by_index(u).items():
+            if v in banned_node_idx or (u, v) in banned_edge_idx:
+                continue
+            nd = d + length
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                hq.heappush(heap, (nd, v))
+    if math.isinf(dist[dst]):
+        return None
+    indices = [dst]
+    while indices[-1] != src:
+        prev = parent[indices[-1]]
+        assert prev is not None
+        indices.append(prev)
+    indices.reverse()
+    return dist[dst], [graph.index_node(i) for i in indices]
+
+
+def k_shortest_paths(
+    graph: WirelessGraph, source: Node, target: Node, k: int
+) -> List[Tuple[float, Path]]:
+    """The up-to-*k* shortest loopless paths from *source* to *target*,
+    sorted by length (Yen's algorithm).
+
+    Returns fewer than *k* entries when the graph does not contain that many
+    distinct loopless paths; raises :class:`GraphError` when the target is
+    unreachable at all.
+    """
+    check_positive_int(k, "k")
+    if source == target:
+        raise GraphError("source and target must differ")
+    first_length, first_path = shortest_path(graph, source, target)
+    accepted: List[Tuple[float, Path]] = [(first_length, first_path)]
+    # Candidate heap with a tiebreaker counter (paths are not comparable).
+    candidates: List[Tuple[float, int, Path]] = []
+    seen_candidates: Set[Tuple[Node, ...]] = {tuple(first_path)}
+    counter = 0
+
+    while len(accepted) < k:
+        _prev_length, prev_path = accepted[-1]
+        for i in range(len(prev_path) - 1):
+            spur_node = prev_path[i]
+            root_path = prev_path[: i + 1]
+            banned_edges: Set[Tuple[Node, Node]] = set()
+            for _length, path in accepted:
+                if path[: i + 1] == root_path and len(path) > i + 1:
+                    banned_edges.add((path[i], path[i + 1]))
+                    banned_edges.add((path[i + 1], path[i]))
+            banned_nodes = set(root_path[:-1])
+            spur = _shortest_path_avoiding(
+                graph, spur_node, target, banned_edges, banned_nodes
+            )
+            if spur is None:
+                continue
+            _spur_length, spur_path = spur
+            total_path = root_path[:-1] + spur_path
+            key = tuple(total_path)
+            if key in seen_candidates:
+                continue
+            seen_candidates.add(key)
+            counter += 1
+            heapq.heappush(
+                candidates,
+                (_path_length(graph, total_path), counter, total_path),
+            )
+        if not candidates:
+            break
+        length, _tie, path = heapq.heappop(candidates)
+        accepted.append((length, path))
+    return accepted

@@ -1,0 +1,103 @@
+"""Descriptive statistics for wireless graphs.
+
+Used by experiment reports to document the generated workloads (node/edge
+counts, connectivity, diameter) alongside the algorithmic results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Set
+
+from repro.graph.graph import Node, WirelessGraph
+from repro.graph.paths import all_pairs_distance_matrix
+
+
+def connected_components(graph: WirelessGraph) -> List[List[Node]]:
+    """Connected components as node lists (BFS over the adjacency)."""
+    n = graph.number_of_nodes()
+    seen: Set[int] = set()
+    components: List[List[Node]] = []
+    for start in range(n):
+        if start in seen:
+            continue
+        queue = [start]
+        seen.add(start)
+        members = []
+        while queue:
+            u = queue.pop()
+            members.append(graph.index_node(u))
+            for v in graph.neighbors_by_index(u):
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        components.append(members)
+    return components
+
+
+def is_connected(graph: WirelessGraph) -> bool:
+    """True when the graph has exactly one connected component (and at least
+    one node)."""
+    if graph.number_of_nodes() == 0:
+        return False
+    return len(connected_components(graph)) == 1
+
+
+def largest_component(graph: WirelessGraph) -> List[Node]:
+    """Nodes of the largest connected component (empty for empty graph)."""
+    components = connected_components(graph)
+    if not components:
+        return []
+    return max(components, key=len)
+
+
+def induced_subgraph(graph: WirelessGraph, nodes: List[Node]) -> WirelessGraph:
+    """Subgraph induced by *nodes*, preserving edge lengths."""
+    keep = set(nodes)
+    sub = WirelessGraph()
+    sub.add_nodes(nodes)
+    for u, v, length in graph.edges:
+        if u in keep and v in keep:
+            sub.add_edge(u, v, length=length)
+    return sub
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a graph (weighted diameter over finite pairs)."""
+
+    nodes: int
+    edges: int
+    components: int
+    average_degree: float
+    weighted_diameter: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.nodes} e={self.edges} components={self.components} "
+            f"avg_degree={self.average_degree:.2f} "
+            f"diameter={self.weighted_diameter:.4f}"
+        )
+
+
+def graph_stats(graph: WirelessGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for *graph* (APSP-based, so intended for
+    the laptop-scale instances this library targets)."""
+    n = graph.number_of_nodes()
+    e = graph.number_of_edges()
+    comps = len(connected_components(graph))
+    avg_degree = (2 * e / n) if n else 0.0
+    diameter = 0.0
+    if n:
+        matrix = all_pairs_distance_matrix(graph)
+        finite = matrix[~(matrix == math.inf)]
+        if finite.size:
+            diameter = float(finite.max())
+    return GraphStats(
+        nodes=n,
+        edges=e,
+        components=comps,
+        average_degree=avg_degree,
+        weighted_diameter=diameter,
+    )

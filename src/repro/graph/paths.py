@@ -1,0 +1,162 @@
+"""Shortest-path algorithms over :class:`~repro.graph.graph.WirelessGraph`.
+
+A pure-Python binary-heap Dijkstra is the reference implementation; the
+all-pairs matrix additionally has a scipy fast path (``scipy.sparse.csgraph``)
+that is used automatically when scipy is importable. Both produce identical
+results (covered by tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Node, WirelessGraph
+
+INFINITY = math.inf
+
+
+def dijkstra(
+    graph: WirelessGraph,
+    source: Node,
+    cutoff: Optional[float] = None,
+) -> Dict[Node, float]:
+    """Single-source shortest path lengths from *source*.
+
+    Returns a dict mapping every reachable node (within *cutoff*, if given)
+    to its distance. Unreachable nodes are absent from the result.
+    """
+    src = graph.node_index(source)
+    dist = _dijkstra_indices(graph, src, cutoff)
+    return {
+        graph.index_node(i): d
+        for i, d in enumerate(dist)
+        if not math.isinf(d)
+    }
+
+
+def _dijkstra_indices(
+    graph: WirelessGraph,
+    src: int,
+    cutoff: Optional[float] = None,
+) -> List[float]:
+    """Dijkstra over dense indices; returns a distance list with ``inf`` for
+    unreachable nodes."""
+    n = graph.number_of_nodes()
+    dist = [INFINITY] * n
+    dist[src] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, src)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        if cutoff is not None and d > cutoff:
+            # The heap is popped in non-decreasing order, so every remaining
+            # entry is at least this far; stop and post-filter below.
+            break
+        for v, length in graph.neighbors_by_index(u).items():
+            nd = d + length
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    if cutoff is not None:
+        dist = [d if d <= cutoff else INFINITY for d in dist]
+    return dist
+
+
+def shortest_path_length(graph: WirelessGraph, u: Node, v: Node) -> float:
+    """Shortest-path length between *u* and *v* (``inf`` if disconnected)."""
+    src = graph.node_index(u)
+    dst = graph.node_index(v)
+    return _dijkstra_indices(graph, src)[dst]
+
+
+def shortest_path(
+    graph: WirelessGraph, u: Node, v: Node
+) -> Tuple[float, List[Node]]:
+    """Shortest path between *u* and *v* as ``(length, node_list)``.
+
+    Raises :class:`GraphError` if *v* is unreachable from *u*.
+    """
+    src, dst = graph.node_index(u), graph.node_index(v)
+    n = graph.number_of_nodes()
+    dist = [INFINITY] * n
+    parent: List[Optional[int]] = [None] * n
+    dist[src] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, src)]
+    while heap:
+        d, x = heapq.heappop(heap)
+        if d > dist[x]:
+            continue
+        if x == dst:
+            break
+        for y, length in graph.neighbors_by_index(x).items():
+            nd = d + length
+            if nd < dist[y]:
+                dist[y] = nd
+                parent[y] = x
+                heapq.heappush(heap, (nd, y))
+    if math.isinf(dist[dst]):
+        raise GraphError(f"{v!r} is unreachable from {u!r}")
+    path_indices = [dst]
+    while path_indices[-1] != src:
+        prev = parent[path_indices[-1]]
+        assert prev is not None
+        path_indices.append(prev)
+    path_indices.reverse()
+    return dist[dst], [graph.index_node(i) for i in path_indices]
+
+
+def all_pairs_distance_matrix(
+    graph: WirelessGraph, use_scipy: Optional[bool] = None
+) -> np.ndarray:
+    """Dense ``n x n`` all-pairs shortest-path matrix (``inf`` when
+    disconnected), indexed by the graph's dense node indices.
+
+    *use_scipy* forces the scipy (`True`) or pure-Python (`False`) backend;
+    ``None`` auto-selects scipy when available.
+    """
+    if use_scipy is None:
+        use_scipy = _scipy_available()
+    if use_scipy:
+        return _apsp_scipy(graph)
+    return _apsp_python(graph)
+
+
+def _scipy_available() -> bool:
+    try:
+        import scipy.sparse.csgraph  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _apsp_python(graph: WirelessGraph) -> np.ndarray:
+    n = graph.number_of_nodes()
+    matrix = np.full((n, n), INFINITY)
+    for src in range(n):
+        matrix[src, :] = _dijkstra_indices(graph, src)
+    return matrix
+
+
+def _apsp_scipy(graph: WirelessGraph) -> np.ndarray:
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+    n = graph.number_of_nodes()
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    for u in range(n):
+        for v, length in graph.neighbors_by_index(u).items():
+            rows.append(u)
+            cols.append(v)
+            # scipy's csgraph treats explicit zeros as "no edge" unless the
+            # matrix is dense; bump exact-zero lengths to a negligible value.
+            vals.append(length if length > 0 else 1e-300)
+    sparse = csr_matrix((vals, (rows, cols)), shape=(n, n))
+    return sp_dijkstra(sparse, directed=False)

@@ -1,0 +1,204 @@
+"""Exact distances in a graph augmented with zero-length shortcut edges.
+
+Shortcut edges have length 0, so the endpoints of any connected group of
+shortcut edges collapse — for distance purposes — into a single *supernode*.
+Given the base graph's APSP matrix ``D`` (from a
+:class:`~repro.graph.distances.DistanceOracle`), the augmented distance is
+
+``d_F(u, w) = min(D[u, w],  min_{a, b} (D[u, comp_a] + C[a, b] + D[comp_b, w]))``
+
+where ``D[u, comp]`` is the minimum base distance from ``u`` to any member of
+the component, and ``C`` is the shortest-path closure of the inter-component
+minimum-distance matrix. With ``c`` components (``c <= |F|``), building the
+engine costs ``O(c^2 n + c^3)`` and each ``distances_from`` query is one
+vectorized pass over ``n`` — far cheaper than re-running Dijkstra on the
+augmented graph, and exact (verified against networkx in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.distances import DistanceOracle
+from repro.graph.graph import Node
+from repro.util.unionfind import UnionFind
+
+ShortcutPair = Tuple[Node, Node]
+
+
+def _floyd_warshall_closure(matrix: np.ndarray) -> np.ndarray:
+    """Min-plus shortest-path closure of a small dense matrix (diag = 0)."""
+    closure = matrix.copy()
+    np.fill_diagonal(closure, 0.0)
+    c = closure.shape[0]
+    for mid in range(c):
+        via = closure[:, mid : mid + 1] + closure[mid : mid + 1, :]
+        np.minimum(closure, via, out=closure)
+    return closure
+
+
+class ShortcutDistanceEngine:
+    """Distance queries on ``G' = (V, E ∪ F)`` for a fixed shortcut set F.
+
+    The engine is immutable; evaluating a different shortcut set means
+    building a new engine (construction is cheap relative to queries).
+    """
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        shortcuts: Iterable[ShortcutPair],
+    ) -> None:
+        graph = oracle.graph
+        index_pairs = []
+        for u, v in shortcuts:
+            index_pairs.append((graph.node_index(u), graph.node_index(v)))
+        self._init_from_indices(oracle, index_pairs)
+
+    @classmethod
+    def from_index_pairs(
+        cls,
+        oracle: DistanceOracle,
+        index_pairs: Iterable[Tuple[int, int]],
+    ) -> "ShortcutDistanceEngine":
+        """Build an engine directly from dense index pairs (fast path used by
+        the σ evaluator, which works in index space throughout)."""
+        engine = cls.__new__(cls)
+        engine._init_from_indices(oracle, list(index_pairs))
+        return engine
+
+    def _init_from_indices(
+        self,
+        oracle: DistanceOracle,
+        index_pairs: List[Tuple[int, int]],
+    ) -> None:
+        self._oracle = oracle
+        n = oracle.number_of_nodes()
+        self._shortcuts: List[Tuple[int, int]] = []
+        uf = UnionFind()
+        for iu, iv in index_pairs:
+            if iu == iv:
+                raise GraphError(f"shortcut self-loop on index {iu}")
+            if not (0 <= iu < n and 0 <= iv < n):
+                raise GraphError(f"shortcut index pair ({iu}, {iv}) "
+                                 f"out of range for n={n}")
+            self._shortcuts.append((iu, iv))
+            uf.union(iu, iv)
+        components = uf.components()
+        self._components: List[List[int]] = [sorted(c) for c in components]
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        c = len(self._components)
+        matrix = self._oracle.matrix
+        if c == 0:
+            self._comp_min = np.empty((0, matrix.shape[0]))
+            self._closure = np.empty((0, 0))
+            return
+        # comp_min[a, :] = distance from supernode a to every base node.
+        self._comp_min = np.vstack(
+            [matrix[members, :].min(axis=0) for members in self._components]
+        )
+        # Pairwise supernode distances through the base graph, then closed
+        # under taking further shortcut hops (supernodes can chain).
+        inter = np.vstack(
+            [
+                self._comp_min[:, members].min(axis=1)
+                for members in self._components
+            ]
+        )
+        self._closure = _floyd_warshall_closure(inter)
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        return self._oracle
+
+    @property
+    def shortcut_indices(self) -> List[Tuple[int, int]]:
+        """The shortcut edges as dense index pairs, in input order."""
+        return list(self._shortcuts)
+
+    @property
+    def component_indices(self) -> List[List[int]]:
+        """Supernode membership (dense indices), one list per component."""
+        return [list(c) for c in self._components]
+
+    # --------------------------------------------------------------- queries
+
+    def distances_from_index(self, src: int) -> np.ndarray:
+        """Augmented distances from dense index *src* to every node."""
+        base = self._oracle.matrix[src, :]
+        if not self._components:
+            return base.copy()
+        entry = self._comp_min[:, src]  # cost to reach each supernode
+        reach = (entry[:, None] + self._closure).min(axis=0)
+        via = (reach[:, None] + self._comp_min).min(axis=0)
+        return np.minimum(base, via)
+
+    def distances_from(self, node: Node) -> np.ndarray:
+        """Augmented distances from *node* to every node (dense order)."""
+        return self.distances_from_index(
+            self._oracle.graph.node_index(node)
+        )
+
+    def distances_from_indices(self, sources: Sequence[int]) -> np.ndarray:
+        """Augmented distances from each of *sources* to every node, as an
+        ``(len(sources), n)`` array.
+
+        Equivalent to stacking :meth:`distances_from_index` per source but
+        performed in a handful of batched numpy operations — the fast path
+        for evaluating σ over many social pairs at once.
+        """
+        src = np.asarray(sources, dtype=np.intp)
+        base = self._oracle.matrix[src, :]
+        if not self._components:
+            return base.copy()
+        entry = self._comp_min[:, src]  # (c, s): cost to reach supernodes
+        # reach[c, i]: source i to supernode c, chaining through others.
+        reach = (entry[:, None, :] + self._closure[:, :, None]).min(axis=0)
+        via = (reach[:, :, None] + self._comp_min[:, None, :]).min(axis=0)
+        return np.minimum(base, via)
+
+    def distance_by_index(self, iu: int, iv: int) -> float:
+        """Augmented distance between dense indices *iu* and *iv*."""
+        best = float(self._oracle.matrix[iu, iv])
+        if self._components:
+            entry = self._comp_min[:, iu]
+            reach = (entry[:, None] + self._closure).min(axis=0)
+            best = min(best, float((reach + self._comp_min[:, iv]).min()))
+        return best
+
+    def distance(self, u: Node, v: Node) -> float:
+        """Augmented distance between nodes *u* and *v*."""
+        graph = self._oracle.graph
+        return self.distance_by_index(
+            graph.node_index(u), graph.node_index(v)
+        )
+
+    def satisfied_pairs(
+        self,
+        pairs: Sequence[Tuple[Node, Node]],
+        threshold: float,
+    ) -> List[bool]:
+        """For each (u, w) pair, whether its augmented distance is within
+        *threshold* (the paper's distance requirement ``d_t``).
+
+        A small tolerance absorbs floating-point noise so pairs sitting
+        exactly on the threshold count as satisfied.
+        """
+        graph = self._oracle.graph
+        tol = 1e-12 + 1e-9 * max(threshold, 0.0)
+        # Group by source node so pairs sharing an endpoint reuse one query.
+        by_source: Dict[int, np.ndarray] = {}
+        out: List[bool] = []
+        for u, w in pairs:
+            iu, iw = graph.node_index(u), graph.node_index(w)
+            if iu not in by_source:
+                by_source[iu] = self.distances_from_index(iu)
+            out.append(bool(by_source[iu][iw] <= threshold + tol))
+        return out

@@ -1,0 +1,161 @@
+"""Persistence: save/load graphs, MSC instances and placements as JSON.
+
+Lets users generate a workload once, archive it, and re-solve or audit it
+later — and makes solver outputs portable artifacts. Node names survive a
+round trip when they are JSON-representable (ints/strings); other hashables
+are stringified with a warning in the payload.
+
+Format (version 1)::
+
+    {"format": "repro-instance", "version": 1,
+     "graph": {"nodes": [...], "edges": [[u, v, length], ...]},
+     "pairs": [[u, w], ...], "k": 3, "d_threshold": 0.1}
+
+Placements::
+
+    {"format": "repro-placement", "version": 1,
+     "algorithm": "sandwich", "edges": [[u, v], ...], "sigma": 7, ...}
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.problem import MSCInstance
+from repro.exceptions import ValidationError
+from repro.graph.graph import WirelessGraph
+from repro.types import PlacementResult
+from repro.util.serialization import dump_json, load_json
+
+PathLike = Union[str, Path]
+
+INSTANCE_FORMAT = "repro-instance"
+PLACEMENT_FORMAT = "repro-placement"
+VERSION = 1
+
+
+def _json_node(node) -> Any:
+    if isinstance(node, (int, str)):
+        return node
+    if isinstance(node, float) and node == int(node):
+        return int(node)
+    return str(node)
+
+
+def graph_to_dict(graph: WirelessGraph) -> Dict[str, Any]:
+    """Graph as a JSON-ready dict (lengths carry the failure encoding)."""
+    return {
+        "nodes": [_json_node(v) for v in graph.nodes],
+        "edges": [
+            [_json_node(u), _json_node(v), length]
+            for u, v, length in graph.edges
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> WirelessGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    try:
+        nodes = data["nodes"]
+        edges = data["edges"]
+    except (KeyError, TypeError) as exc:
+        raise ValidationError(f"malformed graph payload: {exc}") from exc
+    graph = WirelessGraph()
+    graph.add_nodes(nodes)
+    for entry in edges:
+        if len(entry) != 3:
+            raise ValidationError(
+                f"graph edge entry must be [u, v, length], got {entry!r}"
+            )
+        u, v, length = entry
+        graph.add_edge(u, v, length=float(length))
+    return graph
+
+
+def save_instance(instance: MSCInstance, path: PathLike) -> None:
+    """Write an MSC instance to *path* as JSON."""
+    payload = {
+        "format": INSTANCE_FORMAT,
+        "version": VERSION,
+        "graph": graph_to_dict(instance.graph),
+        "pairs": [
+            [_json_node(u), _json_node(w)] for u, w in instance.pairs
+        ],
+        "k": instance.k,
+        "d_threshold": instance.d_threshold,
+    }
+    dump_json(payload, path)
+
+
+def load_instance(
+    path: PathLike, *, require_initially_unsatisfied: bool = False
+) -> MSCInstance:
+    """Read an MSC instance written by :func:`save_instance`.
+
+    Validation of "pairs initially violate the requirement" is off by
+    default on load: archived instances may have been built with custom
+    rules, and re-validating would reject them spuriously.
+    """
+    data = load_json(path)
+    if not isinstance(data, dict) or data.get("format") != INSTANCE_FORMAT:
+        raise ValidationError(f"{path}: not a {INSTANCE_FORMAT} file")
+    if data.get("version") != VERSION:
+        raise ValidationError(
+            f"{path}: unsupported version {data.get('version')!r}"
+        )
+    graph = graph_from_dict(data["graph"])
+    pairs = [tuple(pair) for pair in data["pairs"]]
+    return MSCInstance(
+        graph,
+        pairs,
+        data["k"],
+        d_threshold=data["d_threshold"],
+        require_initially_unsatisfied=require_initially_unsatisfied,
+    )
+
+
+def save_placement(result: PlacementResult, path: PathLike) -> None:
+    """Write a placement result to *path* as JSON (extras included when
+    serializable; non-serializable extras are dropped with a marker)."""
+    import json
+
+    extras: Dict[str, Any] = {}
+    for key, value in result.extras.items():
+        try:
+            json.dumps(value)
+            extras[key] = value
+        except (TypeError, ValueError):
+            extras[key] = f"<unserializable: {type(value).__name__}>"
+    payload = {
+        "format": PLACEMENT_FORMAT,
+        "version": VERSION,
+        "algorithm": result.algorithm,
+        "edges": [[_json_node(u), _json_node(v)] for u, v in result.edges],
+        "sigma": result.sigma,
+        "satisfied": list(result.satisfied),
+        "evaluations": result.evaluations,
+        "trace": list(result.trace),
+        "extras": extras,
+    }
+    dump_json(payload, path)
+
+
+def load_placement(path: PathLike) -> PlacementResult:
+    """Read a placement written by :func:`save_placement`."""
+    data = load_json(path)
+    if not isinstance(data, dict) or data.get("format") != PLACEMENT_FORMAT:
+        raise ValidationError(f"{path}: not a {PLACEMENT_FORMAT} file")
+    if data.get("version") != VERSION:
+        raise ValidationError(
+            f"{path}: unsupported version {data.get('version')!r}"
+        )
+    return PlacementResult(
+        algorithm=data["algorithm"],
+        edges=[tuple(edge) for edge in data["edges"]],
+        sigma=data["sigma"],
+        satisfied=[bool(flag) for flag in data["satisfied"]],
+        evaluations=data.get("evaluations", 0),
+        trace=list(data.get("trace", [])),
+        extras=dict(data.get("extras", {})),
+    )

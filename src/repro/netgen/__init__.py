@@ -1,0 +1,41 @@
+"""Workload generators: geometric graphs, Gowalla-like LBSN data, tactical
+mobility traces, and important-pair selection."""
+
+from repro.netgen.checkins import CheckIn, proximity_graph
+from repro.netgen.general import barabasi_albert_network, erdos_renyi_network
+from repro.netgen.geometric import GeometricNetwork, random_geometric_network
+from repro.netgen.gowalla import (
+    gowalla_network,
+    load_gowalla_checkins,
+    load_gowalla_friendships,
+    synthesize_gowalla_austin,
+)
+from repro.netgen.pairs import (
+    select_common_node_pairs,
+    select_friend_pairs,
+    select_important_pairs,
+)
+from repro.netgen.tactical import (
+    TacticalConfig,
+    generate_tactical_trace,
+    tactical_topology_series,
+)
+
+__all__ = [
+    "GeometricNetwork",
+    "random_geometric_network",
+    "erdos_renyi_network",
+    "barabasi_albert_network",
+    "CheckIn",
+    "proximity_graph",
+    "load_gowalla_checkins",
+    "load_gowalla_friendships",
+    "synthesize_gowalla_austin",
+    "gowalla_network",
+    "select_important_pairs",
+    "select_common_node_pairs",
+    "select_friend_pairs",
+    "TacticalConfig",
+    "generate_tactical_trace",
+    "tactical_topology_series",
+]

@@ -1,0 +1,126 @@
+"""General (non-geometric) graph models: Erdős–Rényi and Barabási–Albert.
+
+The paper closes with: "these algorithms could also provide insights into
+the general shortcut edge addition problems in any graphs". These generators
+make that claim testable — MSC instances on classic random-graph models with
+i.i.d. link failure probabilities instead of distance-derived ones (there is
+no geometry here). See ``repro.experiments.generality_exp``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.exceptions import ValidationError
+from repro.graph.graph import WirelessGraph
+from repro.graph.metrics import induced_subgraph, largest_component
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability,
+)
+
+
+def _random_failure(rng, low: float, high: float) -> float:
+    return rng.uniform(low, high)
+
+
+def erdos_renyi_network(
+    n: int,
+    edge_probability: float,
+    *,
+    failure_range: Tuple[float, float] = (0.01, 0.1),
+    seed: SeedLike = None,
+    restrict_to_largest_component: bool = True,
+) -> WirelessGraph:
+    """G(n, p) with uniform-random link failure probabilities.
+
+    Args:
+        n: node count.
+        edge_probability: independent probability of each possible edge.
+        failure_range: per-link failure probability drawn uniformly from
+            this interval.
+        restrict_to_largest_component: keep only the giant component so
+            social pairs have finite base distances.
+    """
+    check_positive_int(n, "n")
+    check_probability(edge_probability, "edge_probability")
+    low, high = failure_range
+    check_fraction(low, "failure_range low")
+    check_fraction(high, "failure_range high")
+    if low > high:
+        raise ValidationError(
+            f"failure_range low {low} exceeds high {high}"
+        )
+    rng = ensure_rng(seed)
+    graph = WirelessGraph()
+    graph.add_nodes(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < edge_probability:
+                graph.add_edge(
+                    i, j,
+                    failure_probability=_random_failure(rng, low, high),
+                )
+    if restrict_to_largest_component and graph.number_of_nodes():
+        keep = largest_component(graph)
+        if 0 < len(keep) < graph.number_of_nodes():
+            graph = induced_subgraph(graph, keep)
+    return graph
+
+
+def barabasi_albert_network(
+    n: int,
+    attachments: int,
+    *,
+    failure_range: Tuple[float, float] = (0.01, 0.1),
+    seed: SeedLike = None,
+) -> WirelessGraph:
+    """Barabási–Albert preferential attachment with random link failures.
+
+    Starts from a clique of ``attachments + 1`` nodes; each new node
+    attaches to *attachments* distinct existing nodes chosen with
+    probability proportional to degree. Always connected by construction.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(attachments, "attachments")
+    if attachments >= n:
+        raise ValidationError(
+            f"attachments={attachments} must be < n={n}"
+        )
+    low, high = failure_range
+    check_fraction(low, "failure_range low")
+    check_fraction(high, "failure_range high")
+    if low > high:
+        raise ValidationError(
+            f"failure_range low {low} exceeds high {high}"
+        )
+    rng = ensure_rng(seed)
+    graph = WirelessGraph()
+    graph.add_nodes(range(n))
+    # Seed clique.
+    core = attachments + 1
+    for i in range(core):
+        for j in range(i + 1, core):
+            graph.add_edge(
+                i, j, failure_probability=_random_failure(rng, low, high)
+            )
+    # Preferential attachment via the repeated-endpoints trick: sampling a
+    # uniform element of this list is degree-proportional sampling.
+    endpoints = [
+        v for i in range(core) for v in (i,) * (core - 1)
+    ]
+    for new in range(core, n):
+        targets = set()
+        while len(targets) < attachments:
+            targets.add(endpoints[rng.randrange(len(endpoints))])
+        for target in targets:
+            graph.add_edge(
+                new,
+                target,
+                failure_probability=_random_failure(rng, low, high),
+            )
+            endpoints.append(target)
+            endpoints.append(new)
+    return graph

@@ -1,0 +1,166 @@
+"""Important social pair selection (paper §VII-A3).
+
+"The important social pairs are randomly selected from the node pairs with
+path failure probability larger than the threshold p_t" — i.e. pairs that
+currently violate the requirement and therefore actually need shortcut help.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import InstanceError
+from repro.failure.models import failure_to_length
+from repro.graph.distances import DistanceOracle
+from repro.graph.graph import Node, WirelessGraph
+from repro.types import NodePair
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.validation import check_fraction, check_positive_int
+
+
+def eligible_pairs(
+    graph: WirelessGraph,
+    p_threshold: float,
+    *,
+    oracle: Optional[DistanceOracle] = None,
+    max_failure: Optional[float] = None,
+) -> List[NodePair]:
+    """All node pairs whose best path fails with probability > *p_threshold*.
+
+    Args:
+        graph: the communication graph.
+        p_threshold: the requirement threshold ``p_t``.
+        oracle: optional pre-built distance oracle to reuse.
+        max_failure: optionally also require the pair's path failure to be
+            at most this value, excluding pairs so remote (or disconnected)
+            that no reasonable placement could help; ``None`` places no cap.
+
+    Pairs are returned in deterministic (index) order.
+    """
+    check_fraction(p_threshold, "p_threshold")
+    d_threshold = failure_to_length(p_threshold)
+    d_cap = (
+        None if max_failure is None else failure_to_length(
+            check_fraction(max_failure, "max_failure")
+        )
+    )
+    if oracle is None:
+        oracle = DistanceOracle(graph)
+    matrix = oracle.matrix
+    n = graph.number_of_nodes()
+    out: List[NodePair] = []
+    for iu in range(n):
+        for iw in range(iu + 1, n):
+            d = matrix[iu, iw]
+            if d <= d_threshold:
+                continue
+            if d_cap is not None and d > d_cap:
+                continue
+            out.append((graph.index_node(iu), graph.index_node(iw)))
+    return out
+
+
+def select_important_pairs(
+    graph: WirelessGraph,
+    m: int,
+    p_threshold: float,
+    *,
+    seed: SeedLike = None,
+    oracle: Optional[DistanceOracle] = None,
+    max_failure: Optional[float] = None,
+) -> List[NodePair]:
+    """Randomly select *m* important pairs violating the requirement.
+
+    Raises :class:`InstanceError` when fewer than *m* pairs qualify (the
+    caller should lower ``p_t``, raise *max_failure*, or shrink *m*).
+    """
+    check_positive_int(m, "m")
+    candidates = eligible_pairs(
+        graph, p_threshold, oracle=oracle, max_failure=max_failure
+    )
+    if len(candidates) < m:
+        raise InstanceError(
+            f"only {len(candidates)} node pairs violate p_t={p_threshold}"
+            f" (need m={m}); lower p_t or m"
+        )
+    rng = ensure_rng(seed)
+    return rng.sample(candidates, m)
+
+
+def select_friend_pairs(
+    graph: WirelessGraph,
+    friendships: Sequence[NodePair],
+    m: int,
+    p_threshold: float,
+    *,
+    seed: SeedLike = None,
+    oracle: Optional[DistanceOracle] = None,
+) -> List[NodePair]:
+    """Select *m* violating pairs among declared friendships.
+
+    The paper samples important pairs uniformly among all violating node
+    pairs; in a location-based social network the natural demand set is the
+    *friendship* graph (who actually wants to talk). This selector
+    restricts the violating-pair universe to *friendships* — pairs where
+    both endpoints are in the communication graph and the requirement is
+    currently violated.
+
+    Raises :class:`InstanceError` when fewer than *m* friendships qualify.
+    """
+    check_positive_int(m, "m")
+    check_fraction(p_threshold, "p_threshold")
+    d_threshold = failure_to_length(p_threshold)
+    if oracle is None:
+        oracle = DistanceOracle(graph)
+    matrix = oracle.matrix
+    candidates: List[NodePair] = []
+    seen = set()
+    for u, w in friendships:
+        if u == w or not (graph.has_node(u) and graph.has_node(w)):
+            continue
+        iu, iw = graph.node_index(u), graph.node_index(w)
+        key = (min(iu, iw), max(iu, iw))
+        if key in seen:
+            continue
+        seen.add(key)
+        if matrix[iu, iw] > d_threshold:
+            candidates.append((u, w))
+    if len(candidates) < m:
+        raise InstanceError(
+            f"only {len(candidates)} friendships violate "
+            f"p_t={p_threshold} (need m={m})"
+        )
+    rng = ensure_rng(seed)
+    return rng.sample(candidates, m)
+
+
+def select_common_node_pairs(
+    graph: WirelessGraph,
+    common: Node,
+    m: int,
+    p_threshold: float,
+    *,
+    seed: SeedLike = None,
+    oracle: Optional[DistanceOracle] = None,
+) -> List[NodePair]:
+    """Select *m* violating pairs that all share the node *common*
+    (the MSC-CN workload of paper §IV)."""
+    check_positive_int(m, "m")
+    check_fraction(p_threshold, "p_threshold")
+    d_threshold = failure_to_length(p_threshold)
+    if oracle is None:
+        oracle = DistanceOracle(graph)
+    row = oracle.row(common)
+    candidates = [
+        graph.index_node(i)
+        for i in range(graph.number_of_nodes())
+        if row[i] > d_threshold
+    ]
+    if len(candidates) < m:
+        raise InstanceError(
+            f"only {len(candidates)} partners of {common!r} violate "
+            f"p_t={p_threshold} (need m={m})"
+        )
+    rng = ensure_rng(seed)
+    partners = rng.sample(candidates, m)
+    return [(common, partner) for partner in partners]

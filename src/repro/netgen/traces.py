@@ -1,0 +1,88 @@
+"""Trace file I/O for mobility traces.
+
+A simple CSV format (``time,node,x,y,group`` with one header line) so traces
+can be generated once, stored, and replayed — mirroring how the paper's ARL
+traces "record the locations of 90 nodes ... where each node updates their
+locations periodically".
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.exceptions import TraceFormatError
+from repro.netgen.tactical import MobilityTrace
+
+HEADER = "time,node,x,y,group"
+PathLike = Union[str, Path]
+
+
+def save_trace(trace: MobilityTrace, path: PathLike) -> None:
+    """Write *trace* to *path* in the CSV trace format."""
+    lines = [HEADER]
+    for time, frame in zip(trace.times, trace.positions):
+        for node in sorted(frame):
+            x, y = frame[node]
+            lines.append(
+                f"{time!r},{node},{x!r},{y!r},{trace.groups[node]}"
+            )
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_trace(path: PathLike) -> MobilityTrace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises :class:`TraceFormatError` for malformed files, including frames
+    that disagree on the node set.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or lines[0] != HEADER:
+        raise TraceFormatError(
+            f"{path}: missing or invalid header (expected {HEADER!r})"
+        )
+    frames: Dict[float, Dict[int, Tuple[float, float]]] = {}
+    groups: Dict[int, int] = {}
+    for lineno, line in enumerate(lines[1:], start=2):
+        parts = line.split(",")
+        if len(parts) != 5:
+            raise TraceFormatError(
+                f"{path}:{lineno}: expected 5 fields, got {len(parts)}"
+            )
+        try:
+            time = float(parts[0])
+            node = int(parts[1])
+            x, y = float(parts[2]), float(parts[3])
+            group = int(parts[4])
+        except ValueError as exc:
+            raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc
+        if node in groups and groups[node] != group:
+            raise TraceFormatError(
+                f"{path}:{lineno}: node {node} changes group "
+                f"{groups[node]} -> {group}"
+            )
+        groups[node] = group
+        frames.setdefault(time, {})[node] = (x, y)
+
+    if not frames:
+        raise TraceFormatError(f"{path}: no records")
+    times = sorted(frames)
+    node_set = set(groups)
+    positions: List[Dict[int, Tuple[float, float]]] = []
+    for time in times:
+        frame = frames[time]
+        if set(frame) != node_set:
+            raise TraceFormatError(
+                f"{path}: snapshot t={time} covers {len(frame)} nodes, "
+                f"expected {len(node_set)}"
+            )
+        positions.append(frame)
+    return MobilityTrace(
+        times=list(times),
+        positions=positions,
+        groups=groups,
+        metadata={"source": str(path)},
+    )

@@ -1,0 +1,20 @@
+"""Monte Carlo delivery simulation over unreliable wireless links."""
+
+from repro.sim.delivery import (
+    DeliveryReport,
+    DeliverySimulator,
+    PairDelivery,
+)
+from repro.sim.overhead import OverheadReport, compare_overheads, measure_overhead
+from repro.sim.sampling import sample_failed_edges, surviving_graph
+
+__all__ = [
+    "DeliverySimulator",
+    "DeliveryReport",
+    "PairDelivery",
+    "OverheadReport",
+    "measure_overhead",
+    "compare_overheads",
+    "sample_failed_edges",
+    "surviving_graph",
+]

@@ -1,0 +1,56 @@
+"""Edge-failure sampling for Monte Carlo delivery trials.
+
+One trial of the wireless network: every link independently fails with its
+failure probability (the model of paper Eq. 1); shortcut edges never fail.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.graph.graph import Node, WirelessGraph
+from repro.util.rng import ensure_rng
+
+Edge = Tuple[Node, Node]
+
+
+def sample_failed_edges(graph: WirelessGraph, rng) -> Set[Edge]:
+    """One random trial: the set of links that failed this round.
+
+    Edges are returned as ``(u, v)`` in the graph's canonical (index-sorted)
+    orientation, matching :attr:`WirelessGraph.edges`.
+    """
+    rng = ensure_rng(rng)
+    failed: Set[Edge] = set()
+    for u, v, _length in graph.edges:
+        if rng.random() < graph.failure_probability(u, v):
+            failed.add((u, v))
+    return failed
+
+
+def surviving_graph(
+    graph: WirelessGraph, failed: Set[Edge]
+) -> WirelessGraph:
+    """Copy of *graph* without the failed edges (nodes all kept)."""
+    survivor = WirelessGraph()
+    survivor.add_nodes(graph.nodes)
+    for u, v, length in graph.edges:
+        if (u, v) not in failed and (v, u) not in failed:
+            survivor.add_edge(u, v, length=length)
+    return survivor
+
+
+def adjacency_after_failures(
+    graph: WirelessGraph, failed: Set[Edge]
+) -> List[List[int]]:
+    """Index adjacency lists of the surviving topology (cheap form for
+    connectivity checks; lengths are irrelevant once edges survive)."""
+    n = graph.number_of_nodes()
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    for u, v, _length in graph.edges:
+        if (u, v) in failed or (v, u) in failed:
+            continue
+        iu, iv = graph.node_index(u), graph.node_index(v)
+        adjacency[iu].append(iv)
+        adjacency[iv].append(iu)
+    return adjacency

@@ -1,0 +1,53 @@
+"""Shared value types for the MSC library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+Node = Hashable
+NodePair = Tuple[Node, Node]
+IndexPair = Tuple[int, int]
+
+
+def normalize_index_pair(a: int, b: int) -> IndexPair:
+    """Canonical (sorted) form of an undirected index pair."""
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Outcome of a shortcut-placement algorithm run.
+
+    Attributes:
+        algorithm: short name of the algorithm that produced the placement.
+        edges: the chosen shortcut edges, as node pairs.
+        sigma: number of important social pairs maintained, σ(F).
+        satisfied: per-pair satisfaction flags, aligned with the instance's
+            pair list.
+        evaluations: number of σ evaluations spent (algorithm-defined unit);
+            0 when the algorithm does not track it.
+        trace: best-σ-so-far after each iteration, for iteration-count plots
+            (Fig. 4); empty for non-iterative algorithms.
+        extras: algorithm-specific extra outputs (e.g. the sandwich
+            algorithm's per-bound solutions and data-dependent ratio).
+    """
+
+    algorithm: str
+    edges: List[NodePair]
+    sigma: int
+    satisfied: List[bool]
+    evaluations: int = 0
+    trace: List[int] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm}: maintained {self.sigma}/{len(self.satisfied)}"
+            f" pairs with {self.num_edges} shortcut edge(s)"
+        )

@@ -1,0 +1,22 @@
+"""Shared utilities: RNG handling, union-find, validation, table rendering."""
+
+from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.unionfind import UnionFind
+from repro.util.validation import (
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "UnionFind",
+    "check_fraction",
+    "check_nonnegative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

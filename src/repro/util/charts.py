@@ -1,0 +1,102 @@
+"""ASCII line charts for figure-shaped experiment data.
+
+The experiment runners emit series data (x values + named series); this
+module renders them as terminal plots so a CLI run of ``fig2``–``fig5``
+shows the *shape* of the figure, not just a table of numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+#: Marker characters assigned to series in order.
+MARKERS = "ox*+#@%&"
+
+
+def _scale(
+    value: float, lo: float, hi: float, size: int
+) -> int:
+    """Map *value* in [lo, hi] onto a row/column index in [0, size-1]."""
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(position * (size - 1)))))
+
+
+def render_chart(
+    x_values: Sequence[float],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render series as an ASCII scatter/line chart.
+
+    Args:
+        x_values: shared x coordinates (numeric).
+        series: ``(name, y values)`` tuples; y lists must match *x_values*.
+        width / height: plot area size in characters.
+        title: optional heading.
+
+    Non-finite y values are skipped. Returns a multi-line string with a
+    y-axis (min/max labels), the plot grid, an x-axis, and a legend mapping
+    markers to series names.
+    """
+    xs = [float(x) for x in x_values]
+    if not xs:
+        raise ValueError("x_values must be non-empty")
+    cleaned: List[Tuple[str, List[float]]] = []
+    ys_all: List[float] = []
+    for name, ys in series:
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} values, expected {len(xs)}"
+            )
+        ys = [float(y) for y in ys]
+        cleaned.append((name, ys))
+        ys_all.extend(y for y in ys if math.isfinite(y))
+    if not ys_all:
+        raise ValueError("no finite y values to plot")
+
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if y_lo == y_hi:
+        y_lo -= 1.0
+        y_hi += 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(cleaned):
+        marker = MARKERS[idx % len(MARKERS)]
+        for x, y in zip(xs, ys):
+            if not math.isfinite(y):
+                continue
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            # Overlapping points: show the later series' marker.
+            grid[row][col] = marker
+
+    y_hi_label = f"{y_hi:g}"
+    y_lo_label = f"{y_lo:g}"
+    margin = max(len(y_hi_label), len(y_lo_label))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_hi_label.rjust(margin)
+        elif row_index == height - 1:
+            label = y_lo_label.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(" " * margin + "  " + x_axis)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]}={name}"
+        for i, (name, _ys) in enumerate(cleaned)
+    )
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)

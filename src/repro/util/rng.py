@@ -1,0 +1,50 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that may
+be ``None`` (fresh entropy), an ``int`` (deterministic), or an existing
+:class:`random.Random` instance (shared stream). :func:`ensure_rng` normalizes
+all three into a ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Tuple, Union
+
+SeedLike = Union[None, int, str, Tuple, random.Random]
+
+
+def ensure_rng(seed: SeedLike = None) -> random.Random:
+    """Return a ``random.Random`` for the given seed specification.
+
+    Passing an existing ``random.Random`` returns it unchanged, which lets a
+    caller share one stream across several components. Composite seeds
+    (tuples/lists, e.g. ``(base_seed, "fig3", p_t)``) are hashed with SHA-256
+    so they are deterministic across processes — unlike built-in ``hash``,
+    which is salted for strings.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if isinstance(seed, (tuple, list)):
+        digest = hashlib.sha256(repr(seed).encode("utf-8")).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+    return random.Random(seed)
+
+
+def spawn_rng(rng: random.Random, label: str = "") -> random.Random:
+    """Derive an independent child generator from *rng*.
+
+    The child is seeded from the parent stream (plus an optional *label* so
+    different subsystems fork differently), keeping experiment runs
+    reproducible while isolating each component's consumption pattern.
+    """
+    base = rng.getrandbits(64)
+    if label:
+        base ^= hash(label) & 0xFFFFFFFFFFFFFFFF
+    return random.Random(base)
+
+
+def ensure_seed(seed: SeedLike, fallback: int) -> SeedLike:
+    """Return *seed* unless it is ``None``, in which case *fallback*."""
+    return fallback if seed is None else seed

@@ -1,0 +1,39 @@
+"""JSON serialization helpers for experiment results.
+
+Results are plain dictionaries of primitives, lists and tuples; tuples are
+converted to lists on write and restored by the reader only as lists (JSON has
+no tuple type), so code that round-trips results should not rely on tupleness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+PathLike = Union[str, Path]
+
+
+def _default(obj: Any) -> Any:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def dump_json(data: Any, path: PathLike, indent: int = 2) -> None:
+    """Write *data* to *path* as pretty-printed JSON, creating parents."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(data, indent=indent, sort_keys=True, default=_default)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_json(path: PathLike) -> Any:
+    """Read JSON from *path*."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,86 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints tables shaped like the paper's Tables I/II and
+series shaped like its figures; this module owns the formatting so runners
+stay focused on the science.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_cell(value: object, precision: int = 4) -> str:
+    """Format one table cell: floats get fixed precision, rest ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["k", "ratio"], [[2, 0.5], [4, 0.25]], title="T"))
+    T
+    k | ratio
+    --+-------
+    2 | 0.5000
+    4 | 0.2500
+    """
+    str_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    separator = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(separator)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Sequence[tuple],
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render figure-style data: one x column plus one column per series.
+
+    *series* is a sequence of ``(name, values)`` tuples; every value list must
+    align with *x_values*.
+    """
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name, values in series:
+            if len(values) != len(x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} values, "
+                    f"expected {len(x_values)}"
+                )
+            row.append(values[i])
+        rows.append(row)
+    return render_table(headers, rows, title=title, precision=precision)

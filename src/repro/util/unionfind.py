@@ -1,0 +1,76 @@
+"""Union-find (disjoint-set) with path compression and union by size.
+
+Used by the shortcut-distance engine to contract the endpoints of zero-length
+shortcut edges into supernodes (see ``repro.graph.shortcuts``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List
+
+
+class UnionFind:
+    """Disjoint-set forest over arbitrary hashable elements.
+
+    Elements are registered lazily: :meth:`find` and :meth:`union` accept any
+    hashable and create a singleton set on first sight.
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register *element* as a singleton set if not already present."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        """Number of registered elements (not number of sets)."""
+        return len(self._parent)
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of *element*'s set."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets containing *a* and *b*; return the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True if *a* and *b* are currently in the same set."""
+        return self.find(a) == self.find(b)
+
+    def component_count(self) -> int:
+        """Number of disjoint sets among the registered elements."""
+        return sum(1 for e in self._parent if self._parent[e] == e)
+
+    def components(self) -> List[List[Hashable]]:
+        """Return the sets as lists, grouped by representative."""
+        groups: Dict[Hashable, List[Hashable]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), []).append(element)
+        return list(groups.values())
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)

@@ -1,0 +1,72 @@
+"""Small validation helpers used across the library.
+
+They raise :class:`repro.exceptions.ValidationError` with a message that names
+the offending parameter, so errors surface near the user's call site instead
+of deep inside an algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.exceptions import ValidationError
+
+
+def _require_real(value: Any, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"{name} must be a real number, got {value!r}")
+    if math.isnan(value):
+        raise ValidationError(f"{name} must not be NaN")
+    return float(value)
+
+
+def check_probability(value: Any, name: str = "probability") -> float:
+    """Validate a probability in [0, 1]; return it as float."""
+    v = _require_real(value, name)
+    if not 0.0 <= v <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    return v
+
+
+def check_fraction(value: Any, name: str = "fraction") -> float:
+    """Validate a value in the open-closed sense used for failure thresholds:
+    [0, 1)."""
+    v = _require_real(value, name)
+    if not 0.0 <= v < 1.0:
+        raise ValidationError(f"{name} must be in [0, 1), got {value!r}")
+    return v
+
+
+def check_nonnegative(value: Any, name: str = "value") -> float:
+    """Validate a finite, non-negative real; return it as float."""
+    v = _require_real(value, name)
+    if math.isinf(v) or v < 0:
+        raise ValidationError(f"{name} must be finite and >= 0, got {value!r}")
+    return v
+
+
+def check_positive(value: Any, name: str = "value") -> float:
+    """Validate a finite, strictly positive real; return it as float."""
+    v = check_nonnegative(value, name)
+    if v == 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return v
+
+
+def check_positive_int(value: Any, name: str = "value") -> int:
+    """Validate a strictly positive integer; return it as int."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative_int(value: Any, name: str = "value") -> int:
+    """Validate a non-negative integer; return it as int."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value

@@ -1,0 +1,5 @@
+"""Visualization: dependency-free SVG rendering of placements."""
+
+from repro.viz.svg import render_placement_svg, save_placement_svg
+
+__all__ = ["render_placement_svg", "save_placement_svg"]

@@ -1,0 +1,185 @@
+"""Hand-rolled SVG rendering of a network + placement (the paper's Fig. 1).
+
+No plotting dependency: the figure the paper draws — node layout, wireless
+links shaded by failure probability, important pairs, and the placed
+shortcut edges — is emitted as a standalone SVG string/file. Used by the
+fig1 experiment (via ``save_placement_svg``) and available for any
+instance with node coordinates.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.problem import MSCInstance
+from repro.exceptions import ValidationError
+from repro.types import NodePair
+
+Position = Tuple[float, float]
+PathLike = Union[str, Path]
+
+#: Palette (colorblind-safe-ish, dark-on-light).
+COLOR_LINK = "#b0b7c3"
+COLOR_PAIR_SATISFIED = "#2a9d4e"
+COLOR_PAIR_VIOLATED = "#d1495b"
+COLOR_SHORTCUT = "#1f6fd6"
+COLOR_NODE = "#3c4454"
+COLOR_PAIR_NODE = "#111111"
+
+
+def _bounds(positions: Dict, pad: float = 0.06):
+    xs = [p[0] for p in positions.values()]
+    ys = [p[1] for p in positions.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+    return (
+        min_x - pad * span_x,
+        min_y - pad * span_y,
+        span_x * (1 + 2 * pad),
+        span_y * (1 + 2 * pad),
+    )
+
+
+def render_placement_svg(
+    instance: MSCInstance,
+    positions: Dict,
+    shortcuts: Sequence[NodePair] = (),
+    *,
+    satisfied: Optional[Sequence[bool]] = None,
+    width: int = 640,
+    title: str = "",
+) -> str:
+    """Render the instance and a placement as an SVG string.
+
+    Args:
+        instance: the MSC instance (graph + pairs).
+        positions: node -> (x, y) in any consistent units; the drawing is
+            scaled to fit.
+        shortcuts: placed shortcut edges (drawn as thick blue lines).
+        satisfied: per-pair flags (green = maintained, red = violated);
+            computed from the placement when omitted.
+        width: SVG pixel width (height follows the aspect ratio).
+        title: optional caption.
+
+    All graph nodes must be positioned; raises otherwise.
+    """
+    graph = instance.graph
+    missing = [v for v in graph.nodes if v not in positions]
+    if missing:
+        raise ValidationError(
+            f"{len(missing)} node(s) lack positions, e.g. {missing[0]!r}"
+        )
+    if satisfied is None:
+        from repro.core.evaluator import SigmaEvaluator
+
+        evaluator = SigmaEvaluator(instance)
+        index_pairs = [
+            tuple(
+                sorted(
+                    (graph.node_index(u), graph.node_index(v))
+                )
+            )
+            for u, v in shortcuts
+        ]
+        satisfied = evaluator.satisfied(index_pairs)
+    if len(satisfied) != instance.m:
+        raise ValidationError(
+            f"{len(satisfied)} satisfied flags for {instance.m} pairs"
+        )
+
+    min_x, min_y, span_x, span_y = _bounds(positions)
+    height = int(width * span_y / span_x)
+    scale = width / span_x
+
+    def xy(node) -> Tuple[float, float]:
+        x, y = positions[node]
+        # SVG y grows downward; flip so the layout reads like a map.
+        return (
+            (x - min_x) * scale,
+            height - (y - min_y) * scale,
+        )
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height + (24 if title else 0)}" '
+        f'viewBox="0 0 {width} {height + (24 if title else 0)}">',
+        f'<rect width="100%" height="100%" fill="white"/>',
+    ]
+    offset = 24 if title else 0
+    if title:
+        parts.append(
+            f'<text x="8" y="16" font-family="sans-serif" '
+            f'font-size="13" fill="#333">{html.escape(title)}</text>'
+        )
+    parts.append(f'<g transform="translate(0,{offset})">')
+
+    # Wireless links, opacity by failure probability (weak links fade).
+    for u, v, _length in graph.edges:
+        p = graph.failure_probability(u, v)
+        x1, y1 = xy(u)
+        x2, y2 = xy(v)
+        opacity = 0.25 + 0.55 * (1 - p)
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="{COLOR_LINK}" stroke-width="1" '
+            f'stroke-opacity="{opacity:.2f}"/>'
+        )
+
+    # Important pairs as dashed demand lines.
+    for (u, w), ok in zip(instance.pairs, satisfied):
+        x1, y1 = xy(u)
+        x2, y2 = xy(w)
+        color = COLOR_PAIR_SATISFIED if ok else COLOR_PAIR_VIOLATED
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="{color}" stroke-width="1.2" '
+            f'stroke-dasharray="5,4" stroke-opacity="0.8"/>'
+        )
+
+    # Shortcut edges: thick blue.
+    for u, v in shortcuts:
+        x1, y1 = xy(u)
+        x2, y2 = xy(v)
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="{COLOR_SHORTCUT}" '
+            f'stroke-width="3"/>'
+        )
+
+    # Nodes; pair endpoints emphasized.
+    pair_nodes = set(instance.pair_nodes())
+    for node in graph.nodes:
+        x, y = xy(node)
+        if node in pair_nodes:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="5" '
+                f'fill="{COLOR_PAIR_NODE}"/>'
+            )
+        else:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" '
+                f'fill="{COLOR_NODE}" fill-opacity="0.7"/>'
+            )
+
+    parts.append("</g></svg>")
+    return "\n".join(parts)
+
+
+def save_placement_svg(
+    instance: MSCInstance,
+    positions: Dict,
+    shortcuts: Sequence[NodePair],
+    path: PathLike,
+    **kwargs,
+) -> None:
+    """Render and write the placement SVG to *path* (parents created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        render_placement_svg(instance, positions, shortcuts, **kwargs),
+        encoding="utf-8",
+    )

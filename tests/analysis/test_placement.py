@@ -1,0 +1,69 @@
+"""Tests for repro.analysis.placement."""
+
+import pytest
+
+from repro.analysis.placement import edge_contributions, pair_attribution
+from repro.core.problem import MSCInstance
+from tests.conftest import path_graph
+
+
+@pytest.fixture
+def instance():
+    """Path 0..6, unit edges, d_t=1.5; pairs need shortcut chains."""
+    g = path_graph([1.0] * 6)
+    return MSCInstance(
+        g, [(0, 6), (0, 4), (2, 6)], k=3, d_threshold=1.5
+    )
+
+
+class TestEdgeContributions:
+    def test_solo_and_marginal_for_critical_edge(self, instance):
+        # (0, 6) alone satisfies all three pairs (distance 0 between ends,
+        # 1 hop to interior endpoints... 0-6 shortcut: pair (0,4): d(0,4)
+        # via 6? 0~6 then 6-5-4 = 2 > 1.5. via base 4. So (0,6) rescues
+        # only (0,6).
+        contributions = edge_contributions(instance, [(0, 6)])
+        assert len(contributions) == 1
+        c = contributions[0]
+        assert c.solo_sigma == 1
+        assert c.marginal_sigma == 1
+
+    def test_redundant_edges_have_zero_marginal(self, instance):
+        # Two identicalish shortcuts rescuing the same pair: marginal of
+        # each is 0 (the other covers), solo is positive.
+        contributions = edge_contributions(
+            instance, [(0, 6), (1, 6)]
+        )
+        # (1,6): pair (0,6) distance = 1 (0-1) + 0 = 1 <= 1.5: rescues it
+        # too; also (2,6): d(2,1)=1 + 0 = 1: rescued.
+        by_edge = {c.edge: c for c in contributions}
+        assert by_edge[(0, 6)].marginal_sigma == 0  # (1,6) still covers (0,6)
+        assert by_edge[(0, 6)].solo_sigma == 1
+
+    def test_empty_placement(self, instance):
+        assert edge_contributions(instance, []) == []
+
+    def test_marginals_reflect_chains(self, instance):
+        """Chained shortcuts: each link of the chain is critical for the
+        pair that needs both."""
+        contributions = edge_contributions(instance, [(0, 3), (3, 6)])
+        # chain rescues (0,6) at distance 0; each single edge does not.
+        for c in contributions:
+            assert c.marginal_sigma >= 1
+
+
+class TestPairAttribution:
+    def test_only_maintained_pairs_in_result(self, instance):
+        attribution = pair_attribution(instance, [(0, 6)])
+        assert set(attribution) == {(0, 6)}
+
+    def test_critical_edges_identified(self, instance):
+        attribution = pair_attribution(instance, [(0, 3), (3, 6)])
+        assert attribution[(0, 6)] == [(0, 3), (3, 6)]  # both critical
+
+    def test_redundantly_maintained_pair_has_no_critical_edge(self, instance):
+        attribution = pair_attribution(instance, [(0, 6), (1, 6)])
+        assert attribution[(0, 6)] == []
+
+    def test_empty_placement_empty_attribution(self, instance):
+        assert pair_attribution(instance, []) == {}

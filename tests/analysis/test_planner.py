@@ -1,0 +1,115 @@
+"""Tests for repro.analysis.planner (interactive what-if sessions)."""
+
+import pytest
+
+from repro.analysis.planner import PlacementPlanner
+from repro.core.greedy import greedy_placement
+from repro.core.evaluator import SigmaEvaluator
+from repro.exceptions import SolverError
+
+
+@pytest.fixture
+def planner(tiny_instance):
+    return PlacementPlanner(tiny_instance)
+
+
+class TestMutation:
+    def test_add_updates_sigma(self, planner):
+        assert planner.sigma == 0
+        assert planner.add(0, 4) == 3
+
+    def test_add_duplicate_rejected(self, planner):
+        planner.add(0, 4)
+        with pytest.raises(SolverError, match="already placed"):
+            planner.add(4, 0)  # same undirected edge
+
+    def test_self_loop_rejected(self, planner):
+        with pytest.raises(SolverError, match="self-loop"):
+            planner.add(1, 1)
+
+    def test_remove(self, planner):
+        planner.add(0, 4)
+        assert planner.remove(0, 4) == 0
+        assert planner.edges == []
+
+    def test_remove_missing_rejected(self, planner):
+        with pytest.raises(SolverError, match="not placed"):
+            planner.remove(0, 4)
+
+    def test_undo_add_and_remove(self, planner):
+        planner.add(0, 4)
+        planner.add(1, 3)
+        planner.remove(0, 4)
+        assert planner.undo()          # re-add (0,4)
+        assert (0, 4) in planner.edges
+        assert planner.undo()          # un-add (1,3)
+        assert (1, 3) not in planner.edges
+        assert planner.undo()          # un-add (0,4)
+        assert planner.edges == []
+        assert not planner.undo()      # stack empty
+
+    def test_reset(self, planner):
+        planner.add(0, 4)
+        planner.reset()
+        assert planner.edges == []
+        assert not planner.undo()
+
+    def test_adopt_solver_result(self, tiny_instance, planner):
+        from repro.core.sandwich import SandwichApproximation
+
+        result = SandwichApproximation(tiny_instance).solve()
+        planner.adopt(result.edges)
+        assert planner.sigma == result.sigma
+
+    def test_adopt_duplicates_rejected(self, planner):
+        with pytest.raises(SolverError, match="duplicate"):
+            planner.adopt([(0, 4), (4, 0)])
+
+
+class TestQueries:
+    def test_budget_tracking(self, planner):
+        assert planner.remaining_budget == 2
+        planner.add(0, 4)
+        assert planner.remaining_budget == 1
+        assert not planner.over_budget
+        planner.add(1, 3)
+        planner.add(0, 2)
+        assert planner.over_budget
+        assert "OVER BUDGET" in planner.summary()
+
+    def test_unsatisfied_pairs(self, planner):
+        assert len(planner.unsatisfied_pairs) == 3
+        planner.add(0, 4)
+        assert planner.unsatisfied_pairs == []
+
+
+class TestSuggestions:
+    def test_suggest_matches_greedy_first_pick(self, tiny_instance, planner):
+        sigma = SigmaEvaluator(tiny_instance)
+        greedy_first = greedy_placement(sigma, 1)[0]
+        (edge, value), *_rest = planner.suggest(1)
+        iu = tiny_instance.graph.node_index(edge[0])
+        iv = tiny_instance.graph.node_index(edge[1])
+        assert tuple(sorted((iu, iv))) == greedy_first
+        assert value == sigma.value([greedy_first])
+
+    def test_suggestions_strictly_improving_and_sorted(self, planner):
+        suggestions = planner.suggest(5)
+        values = [v for _e, v in suggestions]
+        assert values == sorted(values, reverse=True)
+        assert all(v > planner.sigma for v in values)
+
+    def test_no_suggestions_at_optimum(self, planner):
+        planner.add(0, 4)  # all pairs satisfied
+        assert planner.suggest() == []
+        assert planner.apply_best() is None
+
+    def test_apply_best_reaches_greedy_value(self, tiny_instance):
+        planner = PlacementPlanner(tiny_instance)
+        while planner.apply_best() is not None:
+            pass
+        sigma = SigmaEvaluator(tiny_instance)
+        greedy_value = sigma.value(
+            greedy_placement(sigma, tiny_instance.n)
+        )
+        assert planner.sigma == greedy_value

@@ -1,0 +1,114 @@
+"""Model-based (stateful) testing of the PlacementPlanner.
+
+Hypothesis drives random sequences of add/remove/undo/reset against a plain
+Python model of the expected placement; after every step the planner's
+edge set, σ and budget bookkeeping must match the model and a fresh
+evaluator. This pins the undo-stack semantics far harder than example
+tests can."""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.analysis.planner import PlacementPlanner
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.problem import MSCInstance
+from tests.conftest import path_graph
+
+N = 6
+
+
+def build_instance():
+    graph = path_graph([1.0] * (N - 1))
+    return MSCInstance(
+        graph,
+        [(0, N - 1), (1, N - 1), (0, N - 2)],
+        k=3,
+        d_threshold=1.5,
+    )
+
+
+edges_strategy = st.tuples(
+    st.integers(0, N - 1), st.integers(0, N - 1)
+).filter(lambda e: e[0] != e[1])
+
+
+class PlannerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.instance = build_instance()
+        self.planner = PlacementPlanner(self.instance)
+        self.evaluator = SigmaEvaluator(self.instance)
+        self.model: list = []          # expected edge list (normalized)
+        self.history: list = []        # (action, edge) mirror of undo stack
+
+    @staticmethod
+    def _norm(edge):
+        return tuple(sorted(edge))
+
+    @rule(edge=edges_strategy)
+    def add(self, edge):
+        normalized = self._norm(edge)
+        if normalized in self.model:
+            return  # planner rejects duplicates; model unchanged
+        self.planner.add(*edge)
+        self.model.append(normalized)
+        self.history.append(("add", normalized))
+
+    @rule(edge=edges_strategy)
+    def remove(self, edge):
+        normalized = self._norm(edge)
+        if normalized not in self.model:
+            return
+        self.planner.remove(*edge)
+        self.model.remove(normalized)
+        self.history.append(("remove", normalized))
+
+    @precondition(lambda self: self.history)
+    @rule()
+    def undo(self):
+        action, edge = self.history.pop()
+        assert self.planner.undo()
+        if action == "add":
+            self.model.remove(edge)
+        else:
+            self.model.append(edge)
+
+    @rule()
+    def reset(self):
+        self.planner.reset()
+        self.model.clear()
+        self.history.clear()
+
+    @invariant()
+    def edges_match_model(self):
+        assert sorted(
+            self._norm(e) for e in self.planner.edges
+        ) == sorted(self.model)
+
+    @invariant()
+    def sigma_matches_fresh_evaluation(self):
+        graph = self.instance.graph
+        index_pairs = [
+            tuple(
+                sorted((graph.node_index(u), graph.node_index(v)))
+            )
+            for u, v in self.model
+        ]
+        assert self.planner.sigma == self.evaluator.value(index_pairs)
+
+    @invariant()
+    def budget_bookkeeping(self):
+        used = len(self.model)
+        assert self.planner.remaining_budget == self.instance.k - used
+        assert self.planner.over_budget == (used > self.instance.k)
+
+
+TestPlannerStateful = PlannerMachine.TestCase
+TestPlannerStateful.settings = __import__(
+    "hypothesis"
+).settings(max_examples=40, stateful_step_count=30, deadline=None)

@@ -1,0 +1,92 @@
+"""Tests for repro.analysis.robustness."""
+
+import pytest
+
+from repro.analysis.robustness import (
+    RobustnessReport,
+    perturbation_analysis,
+    perturb_graph,
+)
+from repro.core.problem import MSCInstance
+from repro.util.rng import ensure_rng
+from tests.conftest import path_graph
+
+
+@pytest.fixture
+def instance():
+    g = path_graph([1.0] * 4)
+    return MSCInstance(g, [(0, 4), (1, 4)], k=2, d_threshold=1.5)
+
+
+class TestPerturbGraph:
+    def test_structure_preserved(self, instance):
+        perturbed = perturb_graph(instance.graph, 0.3, ensure_rng(1))
+        assert perturbed.nodes == instance.graph.nodes
+        assert len(perturbed.edges) == len(instance.graph.edges)
+
+    def test_zero_noise_identity(self, instance):
+        perturbed = perturb_graph(instance.graph, 0.0, ensure_rng(1))
+        for u, v, length in instance.graph.edges:
+            assert perturbed.length(u, v) == pytest.approx(length)
+
+    def test_noise_changes_probabilities(self, instance):
+        perturbed = perturb_graph(instance.graph, 0.5, ensure_rng(1))
+        changed = any(
+            abs(perturbed.length(u, v) - length) > 1e-12
+            for u, v, length in instance.graph.edges
+        )
+        assert changed
+
+    def test_probabilities_stay_valid(self, instance):
+        perturbed = perturb_graph(instance.graph, 0.99, ensure_rng(2))
+        for u, v, _l in perturbed.edges:
+            assert 0.0 <= perturbed.failure_probability(u, v) < 1.0
+
+
+class TestPerturbationAnalysis:
+    def test_report_shape(self, instance):
+        report = perturbation_analysis(
+            instance, [(0, 4)], noise=0.2, trials=10, seed=3
+        )
+        assert report.trials == 10
+        assert len(report.sigma_samples) == 10
+        assert report.baseline_sigma == 2
+        assert 0 <= report.worst_sigma <= report.baseline_sigma
+        assert report.worst_sigma <= report.mean_sigma
+
+    def test_zero_noise_full_retention(self, instance):
+        report = perturbation_analysis(
+            instance, [(0, 4)], noise=0.0, trials=5, seed=3
+        )
+        assert report.retention == pytest.approx(1.0)
+        assert all(s == report.baseline_sigma for s in report.sigma_samples)
+
+    def test_deterministic_for_seed(self, instance):
+        a = perturbation_analysis(
+            instance, [(0, 4)], noise=0.3, trials=8, seed=5
+        )
+        b = perturbation_analysis(
+            instance, [(0, 4)], noise=0.3, trials=8, seed=5
+        )
+        assert a.sigma_samples == b.sigma_samples
+
+    def test_empty_placement_zero_baseline(self, instance):
+        report = perturbation_analysis(
+            instance, [], noise=0.2, trials=4, seed=5
+        )
+        assert report.baseline_sigma == 0
+        assert report.retention == 1.0
+
+    def test_shortcut_immune_to_noise(self):
+        """A directly connected pair stays maintained under any noise —
+        shortcut edges are not perturbed."""
+        g = path_graph([1.0] * 4)
+        inst = MSCInstance(g, [(0, 4)], k=1, d_threshold=1.5)
+        report = perturbation_analysis(
+            inst, [(0, 4)], noise=0.9, trials=10, seed=7
+        )
+        assert all(s == 1 for s in report.sigma_samples)
+
+    def test_invalid_trials(self, instance):
+        with pytest.raises(Exception):
+            perturbation_analysis(instance, [], trials=0)

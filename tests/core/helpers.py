@@ -1,0 +1,103 @@
+"""Shared helpers for core-algorithm tests: random instance generation and a
+brute-force σ reference."""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.problem import MSCInstance
+from repro.types import IndexPair
+from tests.conftest import random_graph
+
+
+def random_instance(
+    seed: int,
+    *,
+    n_range: Tuple[int, int] = (4, 12),
+    edge_prob: float = 0.35,
+    k: int = 3,
+    max_pairs: int = 6,
+) -> MSCInstance:
+    """A random MSC instance for property tests.
+
+    Pairs are chosen among pairs violating the threshold, which is picked
+    relative to the graph's distance distribution so instances are
+    non-trivial. Falls back to relaxed constraints when the random graph is
+    too dense/sparse.
+    """
+    rng = random.Random(seed)
+    for _attempt in range(50):
+        n = rng.randrange(*n_range)
+        graph = random_graph(n, edge_prob, rng)
+        finite = [
+            d
+            for i in range(n)
+            for j in range(i + 1, n)
+            if not math.isinf(
+                d := _pair_distance(graph, i, j)
+            )
+        ]
+        if not finite:
+            continue
+        threshold = sorted(finite)[len(finite) // 3]
+        violating = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if _pair_distance(graph, i, j) > threshold + 1e-9
+        ]
+        if len(violating) < 2:
+            continue
+        m = min(max_pairs, len(violating))
+        pairs = rng.sample(violating, m)
+        return MSCInstance(
+            graph,
+            pairs,
+            k,
+            d_threshold=threshold,
+            require_initially_unsatisfied=True,
+        )
+    raise AssertionError(f"could not build a random instance for seed {seed}")
+
+
+def _pair_distance(graph, i, j) -> float:
+    try:
+        return nx.shortest_path_length(
+            graph.to_networkx(), i, j, weight="length"
+        )
+    except nx.NetworkXNoPath:
+        return math.inf
+
+
+def brute_force_sigma(
+    instance: MSCInstance, edges: Sequence[IndexPair]
+) -> int:
+    """Reference σ: count pairs within threshold on the augmented graph,
+    computed entirely with networkx."""
+    nxg = instance.graph.to_networkx()
+    for a, b in edges:
+        u = instance.graph.index_node(a)
+        v = instance.graph.index_node(b)
+        if nxg.has_edge(u, v):
+            nxg[u][v]["length"] = 0.0
+        else:
+            nxg.add_edge(u, v, length=0.0)
+    count = 0
+    tol = 1e-9
+    for u, w in instance.pairs:
+        try:
+            d = nx.shortest_path_length(nxg, u, w, weight="length")
+        except nx.NetworkXNoPath:
+            continue
+        if d <= instance.d_threshold + tol:
+            count += 1
+    return count
+
+
+def all_candidate_edges(n: int) -> List[IndexPair]:
+    return [(a, b) for a, b in itertools.combinations(range(n), 2)]

@@ -1,0 +1,188 @@
+"""Tests for repro.core.aea (Algorithm 2)."""
+
+import pytest
+
+from repro.core.aea import AdaptiveEvolutionaryAlgorithm, solve_aea
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.problem import MSCInstance
+from repro.exceptions import SolverError
+from tests.conftest import path_graph
+
+
+class TestSolve:
+    def test_result_fields(self, tiny_instance):
+        result = solve_aea(tiny_instance, seed=1, iterations=30)
+        assert result.algorithm == "aea"
+        assert 0 <= result.sigma <= tiny_instance.m
+        assert len(result.edges) == tiny_instance.k  # always feasible, =k
+        assert len(result.trace) == 31  # initial + per-iteration
+
+    def test_deterministic_for_seed(self, tiny_instance):
+        a = solve_aea(tiny_instance, seed=5, iterations=40)
+        b = solve_aea(tiny_instance, seed=5, iterations=40)
+        assert a.edges == b.edges
+        assert a.trace == b.trace
+
+    def test_trace_monotone_nondecreasing(self, tiny_instance):
+        result = solve_aea(tiny_instance, seed=2, iterations=60)
+        assert all(a <= b for a, b in zip(result.trace, result.trace[1:]))
+
+    def test_sigma_matches_reported_edges(self, tiny_instance):
+        result = solve_aea(tiny_instance, seed=3, iterations=40)
+        evaluator = SigmaEvaluator(tiny_instance)
+        edges = [
+            tuple(sorted((
+                tiny_instance.graph.node_index(u),
+                tiny_instance.graph.node_index(v),
+            )))
+            for u, v in result.edges
+        ]
+        assert evaluator.value(edges) == result.sigma
+
+    def test_greedy_swaps_solve_easy_instance_fast(self, tiny_instance):
+        """With δ=0 every step is a greedy swap; a couple of iterations must
+        reach the optimum on the path instance."""
+        result = solve_aea(
+            tiny_instance, seed=7, iterations=5, delta=0.0
+        )
+        assert result.sigma == tiny_instance.m
+
+    def test_pure_random_still_valid(self, tiny_instance):
+        result = solve_aea(
+            tiny_instance, seed=7, iterations=20, delta=1.0
+        )
+        assert 0 <= result.sigma <= tiny_instance.m
+
+    def test_pool_size_respected(self, tiny_instance):
+        result = solve_aea(
+            tiny_instance, seed=9, iterations=50, pool_size=3
+        )
+        assert result.extras["pool_size"] <= 3
+
+    def test_all_pool_members_feasible(self, tiny_instance):
+        aea = AdaptiveEvolutionaryAlgorithm(
+            tiny_instance, iterations=30, seed=11
+        )
+        result = aea.solve()
+        assert len(result.edges) == tiny_instance.k
+
+    def test_more_iterations_never_hurt(self, tiny_instance):
+        short = solve_aea(tiny_instance, seed=13, iterations=5)
+        long = solve_aea(tiny_instance, seed=13, iterations=60)
+        assert long.sigma >= short.sigma
+
+
+class TestWarmStart:
+    def test_initial_edges_seed_the_pool(self, tiny_instance):
+        result = solve_aea(
+            tiny_instance, seed=1, iterations=1,
+            initial_edges=[(0, 4), (1, 3)],
+        )
+        # (0,4) satisfies everything; one iteration cannot lose it.
+        assert result.sigma == tiny_instance.m
+
+    def test_short_warm_start_topped_up(self, tiny_instance):
+        result = solve_aea(
+            tiny_instance, seed=1, iterations=2, initial_edges=[(0, 4)]
+        )
+        assert len(result.edges) == tiny_instance.k
+
+    def test_duplicate_initial_edges_rejected(self, tiny_instance):
+        from repro.core.aea import AdaptiveEvolutionaryAlgorithm
+
+        with pytest.raises(SolverError, match="duplicates"):
+            AdaptiveEvolutionaryAlgorithm(
+                tiny_instance, iterations=1,
+                initial_edges=[(0, 4), (4, 0)], seed=1,
+            )
+
+    def test_oversized_warm_start_rejected(self, tiny_instance):
+        from repro.core.aea import AdaptiveEvolutionaryAlgorithm
+
+        with pytest.raises(SolverError, match="exceed the budget"):
+            AdaptiveEvolutionaryAlgorithm(
+                tiny_instance, iterations=1,
+                initial_edges=[(0, 1), (0, 2), (0, 3)], seed=1,
+            )
+
+    def test_warmstart_never_below_aa(self, tiny_instance):
+        from repro.core.aea import solve_aea_warmstart
+        from repro.core.sandwich import SandwichApproximation
+
+        aa = SandwichApproximation(tiny_instance).solve()
+        for seed in (1, 2, 3):
+            warm = solve_aea_warmstart(
+                tiny_instance, seed=seed, iterations=10
+            )
+            assert warm.sigma >= aa.sigma
+            assert warm.algorithm == "aea+warm"
+            assert warm.extras["warm_start_sigma"] == aa.sigma
+
+    def test_warmstart_registered(self, tiny_instance):
+        from repro.core.registry import solve
+
+        result = solve("aea+warm", tiny_instance, seed=1, iterations=5)
+        assert result.algorithm == "aea+warm"
+
+
+class TestValidation:
+    def test_budget_exceeding_universe_rejected(self):
+        g = path_graph([1.0, 1.0])  # 3 nodes -> 3 possible edges
+        inst = MSCInstance(g, [(0, 2)], k=3, d_threshold=1.5)
+        # k=3 equals the universe, fine:
+        solve_aea(inst, seed=1, iterations=3)
+        inst4 = MSCInstance(g, [(0, 2)], k=4, d_threshold=1.5)
+        with pytest.raises(SolverError, match="exceeds"):
+            AdaptiveEvolutionaryAlgorithm(inst4, iterations=3, seed=1)
+
+    def test_invalid_delta(self, tiny_instance):
+        with pytest.raises(Exception):
+            AdaptiveEvolutionaryAlgorithm(
+                tiny_instance, iterations=3, delta=1.5
+            )
+
+    def test_invalid_pool_size(self, tiny_instance):
+        with pytest.raises(Exception):
+            AdaptiveEvolutionaryAlgorithm(
+                tiny_instance, iterations=3, pool_size=0
+            )
+
+
+class TestSwaps:
+    def test_random_placement_has_exactly_k_distinct(self, tiny_instance):
+        aea = AdaptiveEvolutionaryAlgorithm(
+            tiny_instance, iterations=1, seed=17
+        )
+        placement = aea._random_placement(2)
+        assert len(placement) == 2
+        assert len(set(placement)) == 2
+        assert all(a < b for a, b in placement)
+
+    def test_greedy_swap_keeps_cardinality(self, tiny_instance):
+        aea = AdaptiveEvolutionaryAlgorithm(
+            tiny_instance, iterations=1, seed=19
+        )
+        edges = aea._random_placement(2)
+        new_edges, value, _ = aea._greedy_swap(edges)
+        assert len(new_edges) == 2
+
+    def test_greedy_swap_never_decreases_value(self, tiny_instance):
+        """Greedy swap removes the least useful edge and re-adds the best
+        one — it can re-add the removed edge, so σ never drops."""
+        aea = AdaptiveEvolutionaryAlgorithm(
+            tiny_instance, iterations=1, seed=23
+        )
+        evaluator = aea.sigma
+        edges = aea._random_placement(2)
+        before = evaluator.value(edges)
+        _, after, _ = aea._greedy_swap(edges)
+        assert after >= before
+
+    def test_random_swap_keeps_cardinality(self, tiny_instance):
+        aea = AdaptiveEvolutionaryAlgorithm(
+            tiny_instance, iterations=1, seed=29
+        )
+        edges = aea._random_placement(2)
+        new_edges, _, _ = aea._random_swap(edges)
+        assert len(new_edges) == 2
+        assert all(a < b for a, b in new_edges)

@@ -1,0 +1,126 @@
+"""Tests for repro.core.budgeted (cost-aware placement)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.budgeted import (
+    budgeted_greedy_placement,
+    distance_cost_matrix,
+    placement_cost,
+)
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.problem import MSCInstance
+from repro.exceptions import SolverError
+from tests.conftest import path_graph
+
+
+@pytest.fixture
+def instance():
+    g = path_graph([1.0] * 6)
+    return MSCInstance(
+        g, [(0, 6), (0, 4), (2, 6)], k=3, d_threshold=1.5
+    )
+
+
+def uniform_costs(n, value=1.0):
+    costs = np.full((n, n), value)
+    np.fill_diagonal(costs, math.inf)
+    return costs
+
+
+class TestBudgetedGreedy:
+    def test_uniform_costs_reduce_to_cardinality(self, instance):
+        """Budget B with unit costs = cardinality budget k=B."""
+        from repro.core.greedy import greedy_placement
+
+        sigma = SigmaEvaluator(instance)
+        budgeted = budgeted_greedy_placement(
+            sigma, uniform_costs(instance.n), 2.0
+        )
+        plain = greedy_placement(sigma, 2)
+        assert sigma.value(budgeted) == sigma.value(plain)
+
+    def test_budget_never_exceeded(self, instance):
+        sigma = SigmaEvaluator(instance)
+        costs = uniform_costs(instance.n, 0.7)
+        placement = budgeted_greedy_placement(sigma, costs, 2.0)
+        assert placement_cost(placement, costs) <= 2.0 + 1e-9
+
+    def test_expensive_edges_excluded(self, instance):
+        sigma = SigmaEvaluator(instance)
+        costs = uniform_costs(instance.n, 10.0)
+        # Make exactly one useful edge affordable.
+        costs[0, 4] = costs[4, 0] = 1.0
+        placement = budgeted_greedy_placement(sigma, costs, 1.5)
+        assert placement == [(0, 4)]
+
+    def test_prefers_cost_effective_edge(self, instance):
+        """An edge with lower gain but much lower cost is taken first, and
+        with a budget covering both the high-gain edge follows."""
+        sigma = SigmaEvaluator(instance)
+        costs = uniform_costs(instance.n, 5.0)
+        costs[2, 6] = costs[6, 2] = 0.5  # rescues 1 pair, very cheap
+        placement = budgeted_greedy_placement(sigma, costs, 5.5)
+        assert placement[0] == (2, 6)  # effectiveness 2.0 beats 2/5
+        assert sigma.value(placement) == 3  # (0,5)-style edge fits after
+
+    def test_best_single_fallback(self, instance):
+        """When taking the cheap edge first makes the high-value edge
+        unaffordable, the best-single-edge arm must override the greedy.
+
+        (0,5) rescues pairs (0,6) and (0,4) — gain 2 at cost 10; (2,6)
+        rescues one pair at cost 1. Budget 10: greedy takes (2,6)
+        (effectiveness 1.0 > 0.2), leaving 9 < 10, and ends with σ=1; the
+        single edge (0,5) scores σ=2 and must win."""
+        sigma = SigmaEvaluator(instance)
+        costs = uniform_costs(instance.n, 100.0)
+        costs[0, 5] = costs[5, 0] = 10.0
+        costs[2, 6] = costs[6, 2] = 1.0
+        placement = budgeted_greedy_placement(sigma, costs, 10.0)
+        assert placement == [(0, 5)]
+        assert sigma.value(placement) == 2
+
+    def test_zero_gain_stops(self, instance):
+        sigma = SigmaEvaluator(instance)
+        costs = uniform_costs(instance.n, 0.01)
+        placement = budgeted_greedy_placement(sigma, costs, 100.0)
+        assert sigma.value(placement) == 3  # all pairs; then stop
+        assert len(placement) <= 4
+
+    def test_invalid_costs_shape(self, instance):
+        sigma = SigmaEvaluator(instance)
+        with pytest.raises(SolverError, match="shape"):
+            budgeted_greedy_placement(sigma, np.ones((2, 2)), 1.0)
+
+    def test_negative_costs_rejected(self, instance):
+        sigma = SigmaEvaluator(instance)
+        costs = uniform_costs(instance.n)
+        costs[0, 1] = -1.0
+        with pytest.raises(SolverError, match="non-negative"):
+            budgeted_greedy_placement(sigma, costs, 1.0)
+
+    def test_invalid_budget(self, instance):
+        sigma = SigmaEvaluator(instance)
+        with pytest.raises(Exception):
+            budgeted_greedy_placement(
+                sigma, uniform_costs(instance.n), 0.0
+            )
+
+
+class TestDistanceCostMatrix:
+    def test_costs_from_positions(self):
+        g = path_graph([1.0])
+        positions = {0: (0.0, 0.0), 1: (3.0, 4.0)}
+        costs = distance_cost_matrix(
+            positions, g, base_cost=2.0, per_unit=1.0
+        )
+        assert costs[0, 1] == pytest.approx(7.0)
+        assert math.isinf(costs[0, 0])
+
+    def test_symmetric(self):
+        g = path_graph([1.0, 1.0])
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (5.0, 0.0)}
+        costs = distance_cost_matrix(positions, g)
+        assert costs[0, 2] == pytest.approx(costs[2, 0])

@@ -1,0 +1,127 @@
+"""Tests for repro.core.coverage — greedy weighted max coverage, including
+the (1 - 1/e) guarantee against brute force on small instances."""
+
+import itertools
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coverage import greedy_max_coverage
+from repro.exceptions import SolverError
+
+APPROX = 1 - 1 / math.e
+
+
+def brute_force_best(sets, k, weights=None):
+    sets = np.asarray(sets, dtype=bool)
+    num_sets, num_elements = sets.shape
+    w = (
+        np.ones(num_elements)
+        if weights is None
+        else np.asarray(weights, dtype=float)
+    )
+    best = 0.0
+    for size in range(min(k, num_sets) + 1):
+        for combo in itertools.combinations(range(num_sets), size):
+            covered = np.zeros(num_elements, dtype=bool)
+            for idx in combo:
+                covered |= sets[idx]
+            best = max(best, float(w @ covered))
+    return best
+
+
+class TestBasics:
+    def test_single_best_set(self):
+        sets = np.array([[1, 1, 0], [1, 0, 0], [0, 0, 1]], dtype=bool)
+        result = greedy_max_coverage(sets, 1)
+        assert result.selected == [0]
+        assert result.weight == 2.0
+
+    def test_complementary_sets(self):
+        sets = np.array([[1, 1, 0, 0], [0, 0, 1, 1], [1, 1, 1, 0]], bool)
+        result = greedy_max_coverage(sets, 2)
+        assert result.weight == 4.0
+
+    def test_early_stop_on_zero_gain(self):
+        sets = np.array([[1, 1], [1, 1], [1, 0]], dtype=bool)
+        result = greedy_max_coverage(sets, 3)
+        assert len(result.selected) == 1
+
+    def test_weighted_selection(self):
+        sets = np.array([[1, 0, 0], [0, 1, 1]], dtype=bool)
+        result = greedy_max_coverage(sets, 1, weights=[10.0, 1.0, 1.0])
+        assert result.selected == [0]
+
+    def test_deterministic_tie_break(self):
+        sets = np.array([[1, 0], [0, 1]], dtype=bool)
+        assert greedy_max_coverage(sets, 1).selected == [0]
+
+    def test_covered_vector(self):
+        sets = np.array([[1, 0, 1]], dtype=bool)
+        result = greedy_max_coverage(sets, 1)
+        assert list(result.covered) == [True, False, True]
+
+    def test_k_larger_than_sets(self):
+        sets = np.array([[1, 0], [0, 1]], dtype=bool)
+        result = greedy_max_coverage(sets, 10)
+        assert result.weight == 2.0
+
+
+class TestValidation:
+    def test_non_2d_rejected(self):
+        with pytest.raises(SolverError, match="2-D"):
+            greedy_max_coverage(np.array([True, False]), 1)
+
+    def test_weight_shape_mismatch(self):
+        with pytest.raises(SolverError, match="weights shape"):
+            greedy_max_coverage(np.zeros((2, 3), bool), 1, weights=[1.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(SolverError, match="non-negative"):
+            greedy_max_coverage(
+                np.zeros((2, 3), bool), 1, weights=[1.0, -1.0, 0.0]
+            )
+
+    def test_invalid_k(self):
+        with pytest.raises(Exception):
+            greedy_max_coverage(np.zeros((2, 3), bool), 0)
+
+
+class TestApproximationGuarantee:
+    @given(
+        num_sets=st.integers(1, 7),
+        num_elements=st.integers(1, 8),
+        k=st.integers(1, 4),
+        seed=st.integers(0, 100_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_within_1_minus_1_over_e(
+        self, num_sets, num_elements, k, seed
+    ):
+        rng = random.Random(seed)
+        sets = np.array(
+            [
+                [rng.random() < 0.4 for _ in range(num_elements)]
+                for _ in range(num_sets)
+            ],
+            dtype=bool,
+        )
+        weights = [rng.uniform(0.0, 2.0) for _ in range(num_elements)]
+        greedy = greedy_max_coverage(sets, k, weights=weights).weight
+        optimal = brute_force_best(sets, k, weights=weights)
+        assert greedy >= APPROX * optimal - 1e-9
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_never_exceeds_optimal(self, seed):
+        rng = random.Random(seed)
+        sets = np.array(
+            [[rng.random() < 0.5 for _ in range(6)] for _ in range(5)],
+            dtype=bool,
+        )
+        greedy = greedy_max_coverage(sets, 2).weight
+        assert greedy <= brute_force_best(sets, 2) + 1e-9

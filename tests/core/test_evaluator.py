@@ -1,0 +1,136 @@
+"""Tests for repro.core.evaluator (σ) — exactness against brute force and
+internal consistency of the vectorized candidate scan."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.problem import MSCInstance
+from tests.conftest import path_graph
+from tests.core.helpers import (
+    all_candidate_edges,
+    brute_force_sigma,
+    random_instance,
+)
+
+
+class TestValue:
+    def test_empty_set_counts_base(self, tiny_instance):
+        evaluator = SigmaEvaluator(tiny_instance)
+        assert evaluator.value([]) == 0
+        assert evaluator.base_sigma == 0
+
+    def test_direct_shortcut_satisfies_pair(self, tiny_instance):
+        evaluator = SigmaEvaluator(tiny_instance)
+        # (0, 4) shortcut collapses the whole path for pair (0, 4); with
+        # d_t = 1.5 pairs (0,3) and (1,4) are one unit hop away from it.
+        assert evaluator.value([(0, 4)]) == 3
+
+    def test_monotone_in_edges(self, tiny_instance):
+        evaluator = SigmaEvaluator(tiny_instance)
+        assert evaluator.value([(0, 3)]) <= evaluator.value(
+            [(0, 3), (1, 4)]
+        )
+
+    def test_satisfied_flags_align_with_pairs(self, tiny_instance):
+        evaluator = SigmaEvaluator(tiny_instance)
+        flags = evaluator.satisfied([(0, 4)])
+        assert flags == [True, True, True]
+        assert evaluator.satisfied([]) == [False, False, False]
+
+    def test_max_value(self, tiny_instance):
+        assert SigmaEvaluator(tiny_instance).max_value() == 3.0
+
+    def test_num_pairs_and_n(self, tiny_instance):
+        evaluator = SigmaEvaluator(tiny_instance)
+        assert evaluator.num_pairs == 3
+        assert evaluator.n == 5
+
+    def test_base_satisfied_pairs_counted(self):
+        g = path_graph([1.0, 1.0])
+        inst = MSCInstance(
+            g,
+            [(0, 1), (0, 2)],
+            k=1,
+            d_threshold=1.5,
+            require_initially_unsatisfied=False,
+        )
+        evaluator = SigmaEvaluator(inst)
+        assert evaluator.value([]) == 1  # (0,1) already satisfied
+        assert evaluator.base_sigma == 1
+
+    def test_triangle_counterexample_values(self, triangle_instance):
+        """Paper §V-A: σ(∅)=0, σ({f12})=1, σ({f12,f23})=3."""
+        evaluator = SigmaEvaluator(triangle_instance)
+        assert evaluator.value([]) == 0
+        assert evaluator.value([(0, 1)]) == 1
+        assert evaluator.value([(0, 1), (1, 2)]) == 3
+
+
+class TestAddCandidates:
+    def test_matches_pointwise_value(self, tiny_instance):
+        evaluator = SigmaEvaluator(tiny_instance)
+        for existing in ([], [(0, 4)], [(1, 3)]):
+            scores = evaluator.add_candidates(existing)
+            for a, b in all_candidate_edges(tiny_instance.n):
+                expected = evaluator.value(list(existing) + [(a, b)])
+                assert scores[a, b] == expected, (existing, a, b)
+
+    def test_symmetry(self, tiny_instance):
+        scores = SigmaEvaluator(tiny_instance).add_candidates([])
+        assert np.array_equal(scores, scores.T)
+
+    def test_diagonal_is_current_value(self, tiny_instance):
+        evaluator = SigmaEvaluator(tiny_instance)
+        scores = evaluator.add_candidates([(0, 4)])
+        assert np.all(np.diag(scores) == evaluator.value([(0, 4)]))
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances_match_pointwise(self, seed):
+        instance = random_instance(seed)
+        evaluator = SigmaEvaluator(instance)
+        rng = random.Random(seed)
+        existing = []
+        for _ in range(rng.randrange(0, 3)):
+            a, b = sorted(rng.sample(range(instance.n), 2))
+            existing.append((a, b))
+        scores = evaluator.add_candidates(existing)
+        # Spot-check a handful of candidates against point evaluation.
+        for _ in range(10):
+            a, b = sorted(rng.sample(range(instance.n), 2))
+            assert scores[a, b] == evaluator.value(existing + [(a, b)])
+
+
+class TestAgainstBruteForce:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_value_matches_networkx(self, seed):
+        instance = random_instance(seed)
+        evaluator = SigmaEvaluator(instance)
+        rng = random.Random(seed ^ 0xBEEF)
+        edges = []
+        for _ in range(rng.randrange(0, 4)):
+            a, b = sorted(rng.sample(range(instance.n), 2))
+            edges.append((a, b))
+        assert evaluator.value(edges) == brute_force_sigma(instance, edges)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_monotonicity_property(self, seed):
+        """σ is monotone: adding an edge never loses satisfied pairs."""
+        instance = random_instance(seed)
+        evaluator = SigmaEvaluator(instance)
+        rng = random.Random(seed ^ 0xF00D)
+        edges = []
+        prev = evaluator.value(edges)
+        for _ in range(4):
+            a, b = sorted(rng.sample(range(instance.n), 2))
+            edges.append((a, b))
+            cur = evaluator.value(edges)
+            assert cur >= prev
+            prev = cur

@@ -1,0 +1,128 @@
+"""Cross-cutting invariants of the core machinery, property-tested."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import NuFunction
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.greedy import greedy_placement
+from repro.core.problem import MSCInstance
+from repro.graph.graph import WirelessGraph
+from tests.conftest import path_graph
+from tests.core.helpers import random_instance
+
+
+class TestGreedyPrefixConsistency:
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_larger_budget_extends_smaller(self, seed):
+        """Greedy is prefix-consistent: the k-budget placement is a prefix
+        of the (k+1)-budget placement (ties broken deterministically)."""
+        instance = random_instance(seed)
+        nu = NuFunction(instance)
+        small = greedy_placement(nu, 2)
+        large = greedy_placement(nu, 3)
+        assert large[: len(small)] == small
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=15, deadline=None)
+    def test_greedy_deterministic(self, seed):
+        instance = random_instance(seed)
+        sigma = SigmaEvaluator(instance)
+        assert greedy_placement(sigma, instance.k) == greedy_placement(
+            sigma, instance.k
+        )
+
+
+class TestDisconnectedInstances:
+    def test_cross_component_pair_rescued_by_shortcut(self):
+        """A pair split across components is rescuable: a shortcut
+        bridging the components creates the only path."""
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=0.2)
+        g.add_edge(2, 3, length=0.2)
+        inst = MSCInstance(g, [(0, 3)], k=1, d_threshold=0.5)
+        sigma = SigmaEvaluator(inst)
+        assert sigma.value([]) == 0
+        assert sigma.value([(1, 2)]) == 1  # 0-1 ~shortcut~ 2-3: 0.4 <= 0.5
+        assert sigma.value([(0, 3)]) == 1
+
+    def test_greedy_finds_bridging_edge(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=0.2)
+        g.add_edge(2, 3, length=0.2)
+        inst = MSCInstance(
+            g, [(0, 3), (1, 2), (0, 2)], k=1, d_threshold=0.5
+        )
+        sigma = SigmaEvaluator(inst)
+        placed = greedy_placement(sigma, 1)
+        assert sigma.value(placed) == 3  # (1,2) rescues all three
+
+    def test_nu_covers_across_components(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=0.2)
+        g.add_edge(2, 3, length=0.2)
+        inst = MSCInstance(g, [(0, 3)], k=1, d_threshold=0.5)
+        nu = NuFunction(inst)
+        # endpoints 1 and 2 are within 0.5 of 0 and 3 respectively
+        assert nu.value([(1, 2)]) == pytest.approx(1.0)
+
+
+class TestDuplicatePairs:
+    def test_duplicates_count_twice_in_sigma(self):
+        g = path_graph([1.0, 1.0])
+        inst = MSCInstance(
+            g, [(0, 2), (0, 2)], k=1, d_threshold=1.5
+        )
+        sigma = SigmaEvaluator(inst)
+        assert sigma.value([(0, 2)]) == 2
+
+    def test_duplicates_weight_nu_nodes(self):
+        g = path_graph([1.0, 1.0])
+        inst = MSCInstance(
+            g, [(0, 2), (0, 2)], k=1, d_threshold=1.5
+        )
+        nu = NuFunction(inst)
+        weights = dict(zip(nu.pair_nodes, nu.weights))
+        assert weights[0] == 1.0  # appears twice -> weight 2/2
+
+
+class TestEvaluatorConsistency:
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_value_equals_sum_of_satisfied(self, seed):
+        instance = random_instance(seed)
+        sigma = SigmaEvaluator(instance)
+        rng = random.Random(seed ^ 0xC0DE)
+        edges = []
+        for _ in range(rng.randrange(0, 4)):
+            a, b = sorted(rng.sample(range(instance.n), 2))
+            edges.append((a, b))
+        assert sigma.value(edges) == sum(sigma.satisfied(edges))
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=15, deadline=None)
+    def test_duplicate_edges_in_f_are_harmless(self, seed):
+        """Passing the same shortcut edge twice must not change σ."""
+        instance = random_instance(seed)
+        sigma = SigmaEvaluator(instance)
+        rng = random.Random(seed ^ 0xD1CE)
+        a, b = sorted(rng.sample(range(instance.n), 2))
+        assert sigma.value([(a, b)]) == sigma.value([(a, b), (a, b)])
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=15, deadline=None)
+    def test_edge_order_irrelevant(self, seed):
+        instance = random_instance(seed)
+        sigma = SigmaEvaluator(instance)
+        rng = random.Random(seed ^ 0xFACE)
+        edges = []
+        for _ in range(3):
+            a, b = sorted(rng.sample(range(instance.n), 2))
+            edges.append((a, b))
+        shuffled = list(edges)
+        rng.shuffle(shuffled)
+        assert sigma.value(edges) == sigma.value(shuffled)

@@ -1,0 +1,78 @@
+"""Tests for repro.core.lazy_greedy (CELF)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import MuFunction, NuFunction
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.greedy import greedy_placement
+from repro.core.lazy_greedy import lazy_greedy_placement
+from repro.exceptions import SolverError
+from tests.core.helpers import random_instance
+
+
+class TestAgainstPlainGreedy:
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_nu_values_match_plain_greedy(self, seed):
+        """On submodular ν, CELF must achieve exactly the plain greedy
+        value (selection may differ on ties)."""
+        instance = random_instance(seed)
+        nu = NuFunction(instance)
+        plain = greedy_placement(nu, instance.k)
+        lazy, _evals = lazy_greedy_placement(nu, instance.k)
+        assert nu.value(lazy) == pytest.approx(nu.value(plain))
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_mu_values_match_plain_greedy(self, seed):
+        instance = random_instance(seed)
+        mu = MuFunction(instance)
+        plain = greedy_placement(mu, instance.k)
+        lazy, _evals = lazy_greedy_placement(mu, instance.k)
+        assert mu.value(lazy) == pytest.approx(float(mu.value(plain)))
+
+    def test_budget_respected(self, tiny_instance):
+        nu = NuFunction(tiny_instance)
+        lazy, _ = lazy_greedy_placement(nu, 1)
+        assert len(lazy) <= 1
+
+
+class TestLaziness:
+    def test_reevaluates_fewer_than_full_scans(self, tiny_instance):
+        """CELF's point evaluations must undercut k full candidate scans
+        (the whole point of laziness)."""
+        nu = NuFunction(tiny_instance)
+        n = tiny_instance.n
+        full_scan_equivalent = (1 + tiny_instance.k) * n * (n - 1) // 2
+        _placement, evaluations = lazy_greedy_placement(
+            nu, tiny_instance.k
+        )
+        assert evaluations < full_scan_equivalent
+
+    def test_candidate_restriction(self, tiny_instance):
+        nu = NuFunction(tiny_instance)
+        placement, _ = lazy_greedy_placement(
+            nu, 2, candidates=[(0, 4), (1, 3)]
+        )
+        assert set(placement) <= {(0, 4), (1, 3)}
+
+
+class TestGuards:
+    def test_nonsubmodular_rejected_by_default(self, tiny_instance):
+        sigma = SigmaEvaluator(tiny_instance)
+        with pytest.raises(SolverError, match="submodular"):
+            lazy_greedy_placement(sigma, 2)
+
+    def test_override_allows_heuristic_use(self, tiny_instance):
+        sigma = SigmaEvaluator(tiny_instance)
+        placement, _ = lazy_greedy_placement(
+            sigma, 2, assume_submodular=True
+        )
+        assert sigma.value(placement) >= 1
+
+    def test_invalid_budget(self, tiny_instance):
+        nu = NuFunction(tiny_instance)
+        with pytest.raises(Exception):
+            lazy_greedy_placement(nu, 0)

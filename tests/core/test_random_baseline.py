@@ -1,0 +1,64 @@
+"""Tests for repro.core.random_baseline."""
+
+import pytest
+
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.random_baseline import solve_random_baseline
+from repro.core.problem import MSCInstance
+from tests.conftest import path_graph
+
+
+class TestRandomBaseline:
+    def test_result_fields(self, tiny_instance):
+        result = solve_random_baseline(tiny_instance, seed=1, trials=50)
+        assert result.algorithm == "random"
+        assert result.evaluations == 50
+        assert len(result.trace) == 50
+        assert len(result.edges) <= tiny_instance.k
+
+    def test_deterministic_for_seed(self, tiny_instance):
+        a = solve_random_baseline(tiny_instance, seed=4, trials=40)
+        b = solve_random_baseline(tiny_instance, seed=4, trials=40)
+        assert a.edges == b.edges and a.sigma == b.sigma
+
+    def test_trace_is_best_so_far(self, tiny_instance):
+        result = solve_random_baseline(tiny_instance, seed=2, trials=60)
+        assert all(
+            a <= b for a, b in zip(result.trace, result.trace[1:])
+        )
+        assert result.trace[-1] == result.sigma
+
+    def test_sigma_matches_edges(self, tiny_instance):
+        result = solve_random_baseline(tiny_instance, seed=3, trials=30)
+        evaluator = SigmaEvaluator(tiny_instance)
+        edges = [
+            tuple(sorted((
+                tiny_instance.graph.node_index(u),
+                tiny_instance.graph.node_index(v),
+            )))
+            for u, v in result.edges
+        ]
+        assert evaluator.value(edges) == result.sigma
+
+    def test_trivial_universe_finds_optimum(self):
+        """3-node path, k=1: only 3 candidate placements, so enough random
+        trials must find the best one."""
+        g = path_graph([1.0, 1.0])
+        inst = MSCInstance(g, [(0, 2)], k=1, d_threshold=1.5)
+        result = solve_random_baseline(inst, seed=5, trials=50)
+        assert result.sigma == 1
+
+    def test_more_trials_never_hurt(self, tiny_instance):
+        few = solve_random_baseline(tiny_instance, seed=6, trials=5)
+        many = solve_random_baseline(tiny_instance, seed=6, trials=100)
+        assert many.sigma >= few.sigma
+
+    def test_budget_capped_at_universe(self):
+        g = path_graph([1.0, 1.0])
+        inst = MSCInstance(g, [(0, 2)], k=3, d_threshold=1.5)
+        result = solve_random_baseline(inst, seed=7, trials=10)
+        assert len(result.edges) <= 3
+
+    def test_invalid_trials(self, tiny_instance):
+        with pytest.raises(Exception):
+            solve_random_baseline(tiny_instance, trials=0)

@@ -1,0 +1,63 @@
+"""Tests for repro.core.registry."""
+
+import pytest
+
+from repro.core.registry import (
+    get_solver,
+    register_solver,
+    solve,
+    solver_names,
+)
+from repro.exceptions import SolverError
+from repro.types import PlacementResult
+
+
+class TestRegistry:
+    def test_known_names_present(self):
+        names = solver_names()
+        for expected in ("sandwich", "aa", "ea", "aea", "random",
+                         "exact", "msc_cn"):
+            assert expected in names
+
+    def test_lookup_case_insensitive(self):
+        assert get_solver("AEA") is get_solver("aea")
+
+    def test_aa_is_alias_for_sandwich(self):
+        assert get_solver("aa") is get_solver("sandwich")
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(SolverError, match="available"):
+            get_solver("nope")
+
+    def test_solve_dispatches(self, tiny_instance):
+        result = solve("sandwich", tiny_instance)
+        assert result.algorithm == "sandwich"
+
+    def test_solve_forwards_params(self, tiny_instance):
+        result = solve("random", tiny_instance, seed=1, trials=7)
+        assert result.evaluations == 7
+
+    def test_register_custom_solver(self, tiny_instance):
+        def dummy(instance, seed=None, **_):
+            return PlacementResult(
+                algorithm="dummy", edges=[], sigma=0, satisfied=[]
+            )
+
+        register_solver("dummy-test", dummy)
+        try:
+            assert solve("dummy-test", tiny_instance).algorithm == "dummy"
+            with pytest.raises(SolverError, match="already registered"):
+                register_solver("dummy-test", dummy)
+            register_solver("dummy-test", dummy, overwrite=True)
+        finally:
+            # Clean up the global registry for other tests.
+            from repro.core import registry
+
+            registry._SOLVERS.pop("dummy-test", None)
+
+    def test_every_registered_solver_runs(self, tiny_instance):
+        for name in ("sandwich", "ea", "aea", "random", "exact"):
+            result = solve(name, tiny_instance, seed=1, iterations=10,
+                           trials=10)
+            assert isinstance(result, PlacementResult)
+            assert 0 <= result.sigma <= tiny_instance.m

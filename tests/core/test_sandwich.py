@@ -1,0 +1,90 @@
+"""Tests for repro.core.sandwich (the Approximation Algorithm)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.exact import solve_exact
+from repro.core.greedy import greedy_placement
+from repro.core.sandwich import APPROX_FACTOR, SandwichApproximation, solve_sandwich
+from tests.core.helpers import random_instance
+
+
+class TestSolve:
+    def test_result_fields(self, tiny_instance):
+        result = SandwichApproximation(tiny_instance).solve()
+        assert result.algorithm == "sandwich"
+        assert result.sigma == sum(result.satisfied)
+        assert len(result.edges) <= tiny_instance.k
+        assert result.extras["winner"] in ("mu", "sigma", "nu")
+        assert 0.0 <= result.extras["ratio"] <= 1.0 + 1e-9
+
+    def test_full_satisfaction_on_easy_instance(self, tiny_instance):
+        result = SandwichApproximation(tiny_instance).solve()
+        assert result.sigma == tiny_instance.m
+
+    def test_explicit_budget_overrides_instance(self, tiny_instance):
+        result = SandwichApproximation(tiny_instance).solve(k=1)
+        assert len(result.edges) <= 1
+
+    def test_winner_is_best_of_three(self, tiny_instance):
+        result = SandwichApproximation(tiny_instance).solve()
+        assert result.sigma == max(
+            result.extras["sigma_mu"],
+            result.extras["sigma_sigma"],
+            result.extras["sigma_nu"],
+        )
+
+    def test_at_least_as_good_as_sigma_greedy(self, tiny_instance):
+        sigma = SigmaEvaluator(tiny_instance)
+        greedy_sigma = sigma.value(
+            greedy_placement(sigma, tiny_instance.k)
+        )
+        result = SandwichApproximation(tiny_instance).solve()
+        assert result.sigma >= greedy_sigma
+
+    def test_registry_wrapper(self, tiny_instance):
+        result = solve_sandwich(tiny_instance, seed=123)
+        assert result.algorithm == "sandwich"
+
+    def test_guarantee_factor_consistent(self, tiny_instance):
+        result = SandwichApproximation(tiny_instance).solve()
+        assert result.extras["guarantee_factor"] == pytest.approx(
+            result.extras["ratio"] * APPROX_FACTOR
+        )
+
+
+class TestDataDependentRatio:
+    def test_ratio_between_zero_and_one(self, tiny_instance):
+        aa = SandwichApproximation(tiny_instance)
+        assert 0.0 <= aa.data_dependent_ratio() <= 1.0 + 1e-9
+
+    def test_degenerate_ratio_is_one(self, triangle_instance):
+        """Three isolated nodes: nothing coverable, ν(F_ν) may be 0."""
+        aa = SandwichApproximation(triangle_instance)
+        ratio = aa.data_dependent_ratio()
+        assert 0.0 <= ratio <= 1.0 + 1e-9
+
+
+class TestGuaranteeAgainstExact:
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=12, deadline=None)
+    def test_eq5_bound_holds(self, seed):
+        """The practical Eq. (5) bound:
+        σ(F_app) >= (σ(F_ν)/ν(F_ν)) · (1 - 1/e) · σ(F*)."""
+        instance = random_instance(seed, n_range=(4, 8), k=2, max_pairs=4)
+        aa = SandwichApproximation(instance)
+        result = aa.solve()
+        ratio = result.extras["ratio"]
+        optimum = solve_exact(instance).sigma
+        assert result.sigma >= ratio * APPROX_FACTOR * optimum - 1e-9
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=12, deadline=None)
+    def test_never_exceeds_exact(self, seed):
+        instance = random_instance(seed, n_range=(4, 8), k=2, max_pairs=4)
+        result = SandwichApproximation(instance).solve()
+        assert result.sigma <= solve_exact(instance).sigma

@@ -1,0 +1,76 @@
+"""Tests for repro.core.setfunction (protocol + sum combinator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.problem import MSCInstance
+from repro.core.setfunction import (
+    SetFunctionProtocol,
+    SumSetFunction,
+    canonical_edges,
+)
+from tests.conftest import path_graph
+
+
+class TestCanonicalEdges:
+    def test_sorts_pairs(self):
+        assert canonical_edges([(3, 1), (0, 2)]) == [(1, 3), (0, 2)]
+
+    def test_keeps_duplicates_and_order(self):
+        assert canonical_edges([(2, 1), (1, 2)]) == [(1, 2), (1, 2)]
+
+
+def two_instances():
+    g1 = path_graph([1.0] * 4)
+    g2 = path_graph([2.0] * 4)
+    i1 = MSCInstance(g1, [(0, 4)], k=2, d_threshold=1.5)
+    i2 = MSCInstance(g2, [(0, 4), (1, 4)], k=2, d_threshold=1.5)
+    return i1, i2
+
+
+class TestSumSetFunction:
+    def test_value_is_sum(self):
+        i1, i2 = two_instances()
+        s = SumSetFunction([SigmaEvaluator(i1), SigmaEvaluator(i2)])
+        edges = [(0, 4)]
+        assert s.value(edges) == SigmaEvaluator(i1).value(edges) + (
+            SigmaEvaluator(i2).value(edges)
+        )
+
+    def test_add_candidates_is_sum(self):
+        i1, i2 = two_instances()
+        e1, e2 = SigmaEvaluator(i1), SigmaEvaluator(i2)
+        s = SumSetFunction([e1, e2])
+        total = s.add_candidates([])
+        assert np.allclose(
+            total, e1.add_candidates([]) + e2.add_candidates([]).astype(float)
+        )
+
+    def test_protocol_conformance(self):
+        i1, _ = two_instances()
+        evaluator = SigmaEvaluator(i1)
+        assert isinstance(evaluator, SetFunctionProtocol)
+        s = SumSetFunction([evaluator])
+        assert isinstance(s, SetFunctionProtocol)
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SumSetFunction([])
+
+    def test_mismatched_universes_rejected(self):
+        g_small = path_graph([1.0] * 2)
+        g_large = path_graph([1.0] * 5)
+        i_small = MSCInstance(g_small, [(0, 2)], k=1, d_threshold=1.5)
+        i_large = MSCInstance(g_large, [(0, 5)], k=1, d_threshold=1.5)
+        with pytest.raises(ValueError, match="disagree"):
+            SumSetFunction(
+                [SigmaEvaluator(i_small), SigmaEvaluator(i_large)]
+            )
+
+    def test_terms_accessor_copies(self):
+        i1, _ = two_instances()
+        s = SumSetFunction([SigmaEvaluator(i1)])
+        terms = s.terms
+        terms.append(None)
+        assert len(s.terms) == 1

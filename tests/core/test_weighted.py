@@ -1,0 +1,151 @@
+"""Tests for repro.core.weighted — weighted objective and weighted bounds."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.greedy import greedy_placement
+from repro.core.weighted import (
+    WeightedMuFunction,
+    WeightedNuFunction,
+    WeightedSigmaEvaluator,
+    weighted_sandwich,
+)
+from repro.exceptions import InstanceError
+from tests.conftest import path_graph
+from tests.core.helpers import all_candidate_edges, random_instance
+
+
+class TestWeightedSigma:
+    def test_unit_weights_reduce_to_sigma(self, tiny_instance):
+        weighted = WeightedSigmaEvaluator(
+            tiny_instance, [1.0] * tiny_instance.m
+        )
+        plain = SigmaEvaluator(tiny_instance)
+        for edges in ([], [(0, 4)], [(1, 3)]):
+            assert weighted.value(edges) == pytest.approx(
+                float(plain.value(edges))
+            )
+
+    def test_weights_scale_value(self, tiny_instance):
+        weighted = WeightedSigmaEvaluator(tiny_instance, [5.0, 0.0, 0.0])
+        # (0, 4) satisfies all three pairs; only the first counts.
+        assert weighted.value([(0, 4)]) == pytest.approx(5.0)
+
+    def test_add_candidates_matches_value(self, tiny_instance):
+        weighted = WeightedSigmaEvaluator(tiny_instance, [2.0, 1.0, 0.5])
+        for existing in ([], [(0, 2)]):
+            scores = weighted.add_candidates(existing)
+            for a, b in all_candidate_edges(tiny_instance.n):
+                assert scores[a, b] == pytest.approx(
+                    weighted.value(list(existing) + [(a, b)])
+                )
+
+    def test_wrong_weight_count_rejected(self, tiny_instance):
+        with pytest.raises(InstanceError, match="weights"):
+            WeightedSigmaEvaluator(tiny_instance, [1.0])
+
+    def test_negative_weight_rejected(self, tiny_instance):
+        with pytest.raises(Exception):
+            WeightedSigmaEvaluator(tiny_instance, [1.0, -1.0, 1.0])
+
+    def test_max_value(self, tiny_instance):
+        weighted = WeightedSigmaEvaluator(tiny_instance, [2.0, 1.0, 0.5])
+        assert weighted.max_value() == pytest.approx(3.5)
+
+    def test_greedy_prefers_heavy_pairs(self):
+        """With one pair weighted heavily, greedy's first edge must rescue
+        it even when another edge rescues two light pairs."""
+        g = path_graph([1.0] * 8)  # 0..8
+        from repro.core.problem import MSCInstance
+
+        inst = MSCInstance(
+            g, [(0, 8), (2, 5), (3, 6)], k=1, d_threshold=1.5
+        )
+        weighted = WeightedSigmaEvaluator(inst, [10.0, 1.0, 1.0])
+        placed = greedy_placement(weighted, 1)
+        flags = weighted.satisfied(placed)
+        assert flags[0]  # the heavy pair got rescued first
+
+
+class TestWeightedBounds:
+    def test_unit_weights_reduce_to_plain_bounds(self, tiny_instance):
+        from repro.core.bounds import MuFunction, NuFunction
+
+        unit = [1.0] * tiny_instance.m
+        w_mu = WeightedMuFunction(tiny_instance, unit)
+        w_nu = WeightedNuFunction(tiny_instance, unit)
+        mu = MuFunction(tiny_instance)
+        nu = NuFunction(tiny_instance)
+        for edges in ([], [(0, 4)], [(0, 2), (2, 4)]):
+            assert w_mu.value(edges) == pytest.approx(float(mu.value(edges)))
+            assert w_nu.value(edges) == pytest.approx(float(nu.value(edges)))
+
+    def test_mu_add_candidates_matches_value(self, tiny_instance):
+        w_mu = WeightedMuFunction(tiny_instance, [2.0, 1.0, 0.5])
+        scores = w_mu.add_candidates([])
+        for a, b in all_candidate_edges(tiny_instance.n):
+            assert scores[a, b] == pytest.approx(w_mu.value([(a, b)]))
+
+    def test_nu_add_candidates_matches_value(self, tiny_instance):
+        w_nu = WeightedNuFunction(tiny_instance, [2.0, 1.0, 0.5])
+        scores = w_nu.add_candidates([])
+        for a, b in all_candidate_edges(tiny_instance.n):
+            assert scores[a, b] == pytest.approx(w_nu.value([(a, b)]))
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_weighted_sandwich_property(self, seed):
+        """weighted μ ≤ weighted σ ≤ weighted ν on random instances with
+        random non-negative weights."""
+        instance = random_instance(seed)
+        rng = random.Random(seed ^ 0x5150)
+        weights = [rng.uniform(0.0, 3.0) for _ in range(instance.m)]
+        sigma = WeightedSigmaEvaluator(instance, weights)
+        mu = WeightedMuFunction(instance, weights)
+        nu = WeightedNuFunction(instance, weights)
+        for _ in range(4):
+            edges = []
+            for _ in range(rng.randrange(0, 4)):
+                a, b = sorted(rng.sample(range(instance.n), 2))
+                edges.append((a, b))
+            s = sigma.value(edges)
+            assert mu.value(edges) <= s + 1e-9
+            assert s <= nu.value(edges) + 1e-9
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_weighted_bounds_submodular(self, seed):
+        instance = random_instance(seed)
+        rng = random.Random(seed ^ 0x7777)
+        weights = [rng.uniform(0.0, 3.0) for _ in range(instance.m)]
+        mu = WeightedMuFunction(instance, weights)
+        nu = WeightedNuFunction(instance, weights)
+        universe = all_candidate_edges(instance.n)
+        rng.shuffle(universe)
+        y = universe[:3]
+        x = y[: rng.randrange(0, 3)]
+        f = universe[3]
+        for fn in (mu, nu):
+            gain_x = fn.value(x + [f]) - fn.value(x)
+            gain_y = fn.value(y + [f]) - fn.value(y)
+            assert gain_x >= gain_y - 1e-9
+            assert gain_y >= -1e-9
+
+
+class TestWeightedSandwich:
+    def test_solves_and_reports_float_sigma(self, tiny_instance):
+        aa = weighted_sandwich(tiny_instance, [2.5, 1.0, 1.0])
+        result = aa.solve()
+        assert result.sigma == pytest.approx(4.5)  # all pairs rescued
+        assert 0.0 <= result.extras["ratio"] <= 1.0 + 1e-9
+
+    def test_integral_weights_keep_int_sigma(self, tiny_instance):
+        aa = weighted_sandwich(tiny_instance, [2.0, 1.0, 1.0])
+        result = aa.solve()
+        assert isinstance(result.sigma, int)
+        assert result.sigma == 4

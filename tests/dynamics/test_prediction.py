@@ -1,0 +1,120 @@
+"""Tests for repro.dynamics.prediction."""
+
+import pytest
+
+from repro.dynamics.prediction import (
+    LinearMotionPredictor,
+    prediction_error,
+    split_trace,
+)
+from repro.exceptions import ValidationError
+from repro.netgen.tactical import MobilityTrace
+
+
+def straight_line_trace(snapshots=5, velocity=(10.0, 0.0)):
+    """Two nodes moving at constant velocity; perfectly predictable."""
+    times = [float(t) for t in range(snapshots)]
+    positions = []
+    for t in range(snapshots):
+        positions.append(
+            {
+                0: (velocity[0] * t, velocity[1] * t),
+                1: (100.0 + velocity[0] * t, 50.0 + velocity[1] * t),
+            }
+        )
+    return MobilityTrace(
+        times=times, positions=positions, groups={0: 0, 1: 0}
+    )
+
+
+class TestSplitTrace:
+    def test_split_sizes(self):
+        trace = straight_line_trace(6)
+        prefix, future = split_trace(trace, 4)
+        assert prefix.snapshots == 4
+        assert future.snapshots == 2
+        assert prefix.times == [0.0, 1.0, 2.0, 3.0]
+        assert future.times == [4.0, 5.0]
+
+    def test_no_future_rejected(self):
+        trace = straight_line_trace(3)
+        with pytest.raises(ValidationError, match="no future"):
+            split_trace(trace, 3)
+
+
+class TestLinearMotionPredictor:
+    def test_perfect_on_constant_velocity(self):
+        trace = straight_line_trace(8)
+        prefix, future = split_trace(trace, 5)
+        predicted = LinearMotionPredictor(window=3).predict(prefix, 3)
+        error = prediction_error(future, predicted)
+        assert error.mean == pytest.approx(0.0, abs=1e-9)
+        assert error.max == pytest.approx(0.0, abs=1e-9)
+
+    def test_window_one_freezes(self):
+        trace = straight_line_trace(6)
+        prefix, _future = split_trace(trace, 4)
+        predicted = LinearMotionPredictor(window=1).predict(prefix, 2)
+        last = prefix.positions[-1]
+        for frame in predicted.positions:
+            assert frame == last
+
+    def test_horizon_length_and_times(self):
+        trace = straight_line_trace(6)
+        prefix, _ = split_trace(trace, 4)
+        predicted = LinearMotionPredictor().predict(prefix, 3)
+        assert predicted.snapshots == 3
+        assert predicted.times == [4.0, 5.0, 6.0]
+
+    def test_groups_preserved(self):
+        trace = straight_line_trace(5)
+        predicted = LinearMotionPredictor().predict(trace, 2)
+        assert predicted.groups == trace.groups
+
+    def test_single_snapshot_observation(self):
+        trace = straight_line_trace(1)
+        predicted = LinearMotionPredictor(window=3).predict(trace, 2)
+        # One observation => zero velocity assumed.
+        assert predicted.positions[0] == trace.positions[0]
+
+    def test_empty_trace_rejected(self):
+        empty = MobilityTrace(times=[], positions=[], groups={})
+        with pytest.raises(ValidationError, match="empty"):
+            LinearMotionPredictor().predict(empty, 1)
+
+    def test_invalid_horizon(self):
+        trace = straight_line_trace(3)
+        with pytest.raises(Exception):
+            LinearMotionPredictor().predict(trace, 0)
+
+
+class TestPredictionError:
+    def test_known_offset(self):
+        trace = straight_line_trace(3)
+        shifted = MobilityTrace(
+            times=trace.times,
+            positions=[
+                {node: (x + 3.0, y + 4.0) for node, (x, y) in frame.items()}
+                for frame in trace.positions
+            ],
+            groups=trace.groups,
+        )
+        error = prediction_error(trace, shifted)
+        assert error.mean == pytest.approx(5.0)
+        assert error.max == pytest.approx(5.0)
+        assert all(e == pytest.approx(5.0) for e in error.per_snapshot)
+
+    def test_growing_error_per_snapshot(self):
+        trace = straight_line_trace(4, velocity=(10.0, 0.0))
+        frozen = MobilityTrace(
+            times=trace.times,
+            positions=[trace.positions[0]] * 4,
+            groups=trace.groups,
+        )
+        error = prediction_error(trace, frozen)
+        assert error.per_snapshot == sorted(error.per_snapshot)
+
+    def test_empty_comparison_rejected(self):
+        empty = MobilityTrace(times=[], positions=[], groups={})
+        with pytest.raises(ValidationError):
+            prediction_error(empty, empty)

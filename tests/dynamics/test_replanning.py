@@ -1,0 +1,93 @@
+"""Tests for repro.dynamics.replanning."""
+
+import pytest
+
+from repro.core.problem import MSCInstance
+from repro.dynamics.replanning import compare_windows, replan
+from repro.dynamics.series import DynamicMSCInstance
+from repro.graph.graph import WirelessGraph
+from tests.conftest import path_graph
+
+
+def shifting_series(T=4, k=1):
+    """T topologies over 6 nodes where the 'important region' moves, so a
+    static placement cannot serve all windows."""
+    instances = []
+    for t in range(T):
+        g = WirelessGraph()
+        g.add_nodes(range(6))
+        # A moving path: at time t, nodes t..t+2 are chained.
+        for i in range(5):
+            g.add_edge(i, i + 1, length=2.0)  # long, unreliable baseline
+        pair = (t % 3, (t % 3) + 3)  # demand shifts over time
+        instances.append(
+            MSCInstance(g, [pair], k, d_threshold=1.0)
+        )
+    return DynamicMSCInstance(instances)
+
+
+class TestReplan:
+    def test_static_window_equals_whole_horizon(self):
+        dyn = shifting_series()
+        static = replan(dyn, window=dyn.T)
+        assert len(static.placements) == 1
+        assert static.relocations == 0
+        assert len(static.sigma_per_topology) == dyn.T
+
+    def test_per_snapshot_replanning_maximizes_sigma(self):
+        dyn = shifting_series()
+        per_snapshot = replan(dyn, window=1)
+        static = replan(dyn, window=dyn.T)
+        # with k=1 and shifting demand, window=1 satisfies every snapshot
+        assert per_snapshot.total_sigma == dyn.T
+        assert per_snapshot.total_sigma >= static.total_sigma
+
+    def test_relocations_counted(self):
+        dyn = shifting_series()
+        per_snapshot = replan(dyn, window=1)
+        # demand shifts between snapshots -> placements change
+        assert per_snapshot.relocations > 0
+
+    def test_window_larger_than_horizon_ok(self):
+        dyn = shifting_series(T=3)
+        result = replan(dyn, window=10)
+        assert len(result.placements) == 1
+
+    def test_uneven_final_window(self):
+        dyn = shifting_series(T=5)
+        result = replan(dyn, window=2)
+        assert len(result.placements) == 3  # 2 + 2 + 1
+        assert len(result.sigma_per_topology) == 5
+
+    def test_custom_solver_used(self):
+        dyn = shifting_series()
+        calls = []
+
+        def solver(chunk):
+            calls.append(chunk.T)
+            return chunk.solve_sandwich()
+
+        replan(dyn, window=2, solver=solver)
+        assert calls == [2, 2]
+
+    def test_invalid_window(self):
+        dyn = shifting_series()
+        with pytest.raises(Exception):
+            replan(dyn, window=0)
+
+    def test_summary(self):
+        dyn = shifting_series()
+        text = replan(dyn, window=2).summary()
+        assert "window=2" in text and "relocations" in text
+
+
+class TestCompareWindows:
+    def test_tradeoff_curve_shape(self):
+        dyn = shifting_series(T=6)
+        results = compare_windows(dyn, [6, 2, 1])
+        sigmas = [r.total_sigma for r in results]
+        relocations = [r.relocations for r in results]
+        # smaller windows never hurt σ on this construction...
+        assert sigmas[0] <= sigmas[-1]
+        # ...and cost at least as many relocations
+        assert relocations[0] <= relocations[-1]

@@ -1,0 +1,156 @@
+"""Tests for repro.dynamics.series — the dynamic-network extension (§VI)."""
+
+import pytest
+
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.problem import MSCInstance
+from repro.dynamics.series import DynamicMSCInstance, build_dynamic_instance
+from repro.exceptions import InstanceError
+from repro.graph.graph import WirelessGraph
+from tests.conftest import path_graph
+
+
+def make_series(k=2):
+    """Two topologies over the same 5-node universe with different edges and
+    different important pairs."""
+    g1 = path_graph([1.0] * 4)  # 0-1-2-3-4
+    g2 = WirelessGraph()
+    g2.add_nodes(range(5))  # same universe, same order
+    g2.add_edge(0, 2, length=1.0)
+    g2.add_edge(2, 4, length=1.0)
+    g2.add_edge(1, 3, length=3.0)
+    i1 = MSCInstance(g1, [(0, 4), (1, 4)], k=k, d_threshold=1.5)
+    i2 = MSCInstance(g2, [(1, 3), (0, 3)], k=k, d_threshold=1.5)
+    return DynamicMSCInstance([i1, i2])
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        dyn = make_series()
+        assert dyn.T == 2
+        assert dyn.k == 2
+        assert dyn.n == 5
+        assert dyn.total_pairs == 4
+        assert dyn.carrier is dyn.instances[0]
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(InstanceError, match="at least one"):
+            DynamicMSCInstance([])
+
+    def test_mismatched_node_universe_rejected(self):
+        g1 = path_graph([1.0] * 4)
+        g2 = path_graph([1.0] * 5)
+        i1 = MSCInstance(g1, [(0, 4)], k=1, d_threshold=1.5)
+        i2 = MSCInstance(g2, [(0, 5)], k=1, d_threshold=1.5)
+        with pytest.raises(InstanceError, match="node universe"):
+            DynamicMSCInstance([i1, i2])
+
+    def test_mismatched_budget_rejected(self):
+        g1 = path_graph([1.0] * 4)
+        i1 = MSCInstance(g1, [(0, 4)], k=1, d_threshold=1.5)
+        i2 = MSCInstance(g1, [(0, 4)], k=2, d_threshold=1.5)
+        with pytest.raises(InstanceError, match="budget"):
+            DynamicMSCInstance([i1, i2])
+
+
+class TestObjectives:
+    def test_sigma_is_sum_of_topologies(self):
+        dyn = make_series()
+        sigma = dyn.sigma_function()
+        edges = [(0, 4)]
+        expected = sum(
+            SigmaEvaluator(inst).value(edges) for inst in dyn.instances
+        )
+        assert sigma.value(edges) == expected
+
+    def test_sigma_per_topology(self):
+        dyn = make_series()
+        per = dyn.sigma_per_topology([(0, 4)])
+        assert len(per) == 2
+        assert sum(per) == dyn.sigma_function().value([(0, 4)])
+
+    def test_bounds_sandwich_dynamic_objective(self):
+        dyn = make_series()
+        sigma, mu, nu = (
+            dyn.sigma_function(),
+            dyn.mu_function(),
+            dyn.nu_function(),
+        )
+        for edges in ([], [(0, 4)], [(0, 2), (2, 4)], [(1, 3), (0, 4)]):
+            assert mu.value(edges) <= sigma.value(edges) + 1e-9
+            assert sigma.value(edges) <= nu.value(edges) + 1e-9
+
+    def test_objective_caching(self):
+        dyn = make_series()
+        assert dyn.sigma_function() is dyn.sigma_function()
+
+    def test_edges_to_index_pairs(self):
+        dyn = make_series()
+        assert dyn.edges_to_index_pairs([(4, 0)]) == [(0, 4)]
+
+
+class TestSolvers:
+    def test_sandwich_on_dynamic(self):
+        dyn = make_series()
+        result = dyn.solve_sandwich()
+        assert result.algorithm == "sandwich"
+        assert 0 <= result.sigma <= dyn.total_pairs
+        assert len(result.edges) <= dyn.k
+
+    def test_ea_on_dynamic(self):
+        dyn = make_series()
+        result = dyn.solve_ea(iterations=80, seed=3)
+        assert 0 <= result.sigma <= dyn.total_pairs
+
+    def test_aea_on_dynamic(self):
+        dyn = make_series()
+        result = dyn.solve_aea(iterations=30, seed=3)
+        assert 0 <= result.sigma <= dyn.total_pairs
+        assert len(result.edges) == dyn.k
+
+    def test_random_on_dynamic(self):
+        dyn = make_series()
+        result = dyn.solve_random(trials=40, seed=3)
+        assert 0 <= result.sigma <= dyn.total_pairs
+
+    def test_one_placement_serves_both_topologies(self):
+        """A good placement must help pairs in *different* topologies: the
+        sandwich solution should beat the best single-topology-only greedy
+        restricted evaluation."""
+        dyn = make_series()
+        result = dyn.solve_sandwich()
+        per = dyn.sigma_per_topology(dyn.edges_to_index_pairs(result.edges))
+        assert sum(per) == result.sigma
+
+    def test_aea_at_least_matches_sandwich_with_greedy_swaps(self):
+        dyn = make_series()
+        aa = dyn.solve_sandwich()
+        aea = dyn.solve_aea(iterations=30, delta=0.0, seed=5)
+        assert aea.sigma >= aa.sigma - 1  # same ballpark on tiny instance
+
+
+class TestBuildHelper:
+    def test_build_dynamic_instance(self):
+        g1 = path_graph([1.0] * 4)
+        g2 = path_graph([2.0] * 4)
+        dyn = build_dynamic_instance(
+            [g1, g2],
+            [[(0, 4)], [(0, 4), (1, 3)]],
+            k=2,
+            d_threshold=1.5,
+        )
+        assert dyn.T == 2
+        assert dyn.total_pairs == 3
+
+    def test_length_mismatch_rejected(self):
+        g1 = path_graph([1.0] * 4)
+        with pytest.raises(InstanceError, match="pair sets"):
+            build_dynamic_instance([g1], [[(0, 4)], [(1, 3)]], k=1,
+                                   d_threshold=1.5)
+
+    def test_threshold_forwarded(self):
+        g1 = path_graph([1.0] * 4)
+        dyn = build_dynamic_instance(
+            [g1], [[(0, 4)]], k=1, p_threshold=0.7
+        )
+        assert dyn.instances[0].p_threshold == pytest.approx(0.7)

@@ -1,0 +1,55 @@
+"""Tests for the delivery validation experiment."""
+
+import pytest
+
+from repro.experiments.delivery_exp import run_delivery
+
+pytestmark = pytest.mark.slow
+
+
+class TestDeliveryExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_delivery(scale="quick", seed=1)
+
+    def test_model_never_contradicted(self, result):
+        assert any("0 (expected 0)" in note for note in result.notes)
+
+    def test_flooding_overhead_quantified(self, result):
+        assert any("flooding costs" in note for note in result.notes)
+        rows = {
+            (r[0], r[1]): r[2] for r in result.tables[1]["rows"]
+        }
+        # flooding pays far more transmissions per delivery than best-path
+        assert rows[("after", "flooding")] > rows[("after", "best_path")]
+
+    def test_placement_improves_best_path(self, result):
+        rows = {
+            (r[0], r[1]): (r[2], r[3]) for r in result.tables[0]["rows"]
+        }
+        before_rate, before_ok = rows[("before", "best_path")]
+        after_rate, after_ok = rows[("after", "best_path")]
+        assert after_rate >= before_rate
+        assert after_ok >= before_ok
+
+    def test_strategy_dominance(self, result):
+        rows = {
+            (r[0], r[1]): r[2] for r in result.tables[0]["rows"]
+        }
+        for stage in ("before", "after"):
+            assert (
+                rows[(stage, "flooding")]
+                >= rows[(stage, "multipath")] - 0.02
+            )
+            assert (
+                rows[(stage, "multipath")]
+                >= rows[(stage, "best_path")] - 0.02
+            )
+
+    def test_before_best_path_violates_requirement(self, result):
+        """The important pairs were chosen to violate p_t, so without
+        shortcuts no pair's best path should clear 1 - p_t (up to noise)."""
+        rows = {
+            (r[0], r[1]): r[3] for r in result.tables[0]["rows"]
+        }
+        assert rows[("before", "best_path")] <= 1

@@ -1,0 +1,148 @@
+"""Integration tests: every experiment runs at quick scale and produces
+the paper's qualitative shapes."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+)
+
+pytestmark = pytest.mark.slow  # these run whole experiments
+
+
+class TestConfig:
+    def test_scales_registered(self):
+        assert set(SCALES) == {"paper", "quick"}
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scale"):
+            get_scale("huge")
+
+    def test_paper_matches_published_parameters(self):
+        paper = get_scale("paper")
+        assert paper.table1_m == 17
+        assert paper.table2_m == 63
+        assert paper.fig3_m_rg == 80
+        assert paper.fig3_m_gw == 76
+        assert paper.fig3_iterations == 500
+        assert paper.fig5_n == 50
+        assert paper.fig5_m == 30
+        assert paper.fig5_T == 30
+        assert list(paper.table1_k) == [2, 4, 6, 8, 10]
+        assert list(paper.table1_p) == [0.04, 0.08, 0.11, 0.14, 0.18]
+        assert list(paper.table2_p) == [0.23, 0.27, 0.31, 0.35]
+
+
+class TestRegistry:
+    def test_all_tables_and_figures_present(self):
+        assert experiment_names() == [
+            "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2",
+        ]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValidationError, match="unknown experiment"):
+            get_experiment("fig9")
+
+
+class TestTable1:
+    def test_ratios_valid(self):
+        result = run_experiment("table1", scale="quick", seed=1)
+        table = result.tables[0]
+        for row in table["rows"]:
+            for ratio in row[1:]:
+                assert 0.0 <= ratio <= 1.0 + 1e-9
+
+    def test_render_is_text(self):
+        result = run_experiment("table1", scale="quick", seed=1)
+        assert "Table I" in result.render()
+
+
+class TestTable2:
+    def test_ratios_valid(self):
+        result = run_experiment("table2", scale="quick", seed=1)
+        for row in result.tables[0]["rows"]:
+            for ratio in row[1:]:
+                assert 0.0 <= ratio <= 1.0 + 1e-9
+
+
+class TestFig1:
+    def test_aa_beats_or_ties_random(self):
+        result = run_experiment("fig1", scale="quick", seed=1)
+        rows = {r[0]: r[1] for r in result.tables[0]["rows"]}
+        assert rows["sandwich"] >= rows["random"]
+
+    def test_positions_emitted(self):
+        result = run_experiment("fig1", scale="quick", seed=1)
+        assert len(result.params["positions"]) > 0
+
+
+class TestFig2:
+    def test_aa_dominates_random_everywhere(self):
+        result = run_experiment("fig2", scale="quick", seed=1)
+        for fig in result.series:
+            series = dict(fig["series"])
+            for name, values in series.items():
+                if name.startswith("AA"):
+                    partner = name.replace("AA", "random")
+                    assert all(
+                        a >= r for a, r in zip(values, series[partner])
+                    ), (name, values, series[partner])
+
+    def test_monotone_in_k(self):
+        result = run_experiment("fig2", scale="quick", seed=1)
+        for fig in result.series:
+            for name, values in fig["series"]:
+                if name.startswith("AA"):
+                    assert all(
+                        a <= b for a, b in zip(values, values[1:])
+                    ), (name, values)
+
+
+class TestFig3:
+    def test_aa_and_aea_beat_ea(self):
+        result = run_experiment("fig3", scale="quick", seed=1)
+        for fig in result.series:
+            series = dict(fig["series"])
+            for name, values in series.items():
+                if name.startswith("EA"):
+                    aa = series[name.replace("EA", "AA")]
+                    assert sum(aa) >= sum(values), (name, aa, values)
+
+
+class TestFig4:
+    def test_traces_monotone_in_r(self):
+        result = run_experiment("fig4", scale="quick", seed=1)
+        for fig in result.series:
+            for name, values in fig["series"]:
+                assert all(a <= b for a, b in zip(values, values[1:])), (
+                    name,
+                    values,
+                )
+
+
+class TestFig5:
+    def test_totals_grow_with_T(self):
+        result = run_experiment("fig5", scale="quick", seed=1)
+        by_title = {fig["title"]: fig for fig in result.series}
+        fig_b = next(
+            fig for title, fig in by_title.items()
+            if "vs T" in title and "average" not in title
+        )
+        for name, values in fig_b["series"]:
+            assert all(a <= b for a, b in zip(values, values[1:])), (
+                name,
+                values,
+            )
+
+    def test_dynamic_totals_bounded(self):
+        result = run_experiment("fig5", scale="quick", seed=1)
+        scale = get_scale("quick")
+        fig_a = result.series[0]
+        bound = scale.fig5_m * scale.fig5_T
+        for _name, values in fig_a["series"]:
+            assert all(0 <= v <= bound for v in values)

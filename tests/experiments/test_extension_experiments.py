@@ -1,0 +1,86 @@
+"""Direct tests for the extension experiments (prediction, replanning,
+generality) — shapes asserted at quick scale."""
+
+import pytest
+
+from repro.experiments.generality_exp import run_generality
+from repro.experiments.prediction_exp import run_prediction
+from repro.experiments.replanning_exp import run_replanning
+
+pytestmark = pytest.mark.slow
+
+
+class TestPredictionExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_prediction(scale="quick", seed=1)
+
+    def test_oracle_is_ceiling(self, result):
+        rows = result.tables[0]["rows"]
+        oracle = rows[0][2]
+        assert rows[0][0] == "oracle"
+        assert all(row[2] <= oracle for row in rows[1:])
+
+    def test_frozen_baseline_present(self, result):
+        labels = [row[0] for row in result.tables[0]["rows"]]
+        assert "frozen" in labels
+        assert any(label.startswith("predicted") for label in labels)
+
+    def test_prediction_errors_reported(self, result):
+        for row in result.tables[0]["rows"][1:]:
+            assert row[1] > 0  # positional error in meters
+
+    def test_recovery_note(self, result):
+        assert "recovers" in result.notes[0]
+
+
+class TestReplanningExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_replanning(scale="quick", seed=1)
+
+    def test_static_first_with_zero_relocations(self, result):
+        first = result.tables[0]["rows"][0]
+        assert first[3] == 0  # relocations
+        assert first[4] == 1  # single placement
+
+    def test_smaller_windows_never_fewer_placements(self, result):
+        placements = [row[4] for row in result.tables[0]["rows"]]
+        assert placements == sorted(placements)
+
+    def test_per_snapshot_window_dominates_static(self, result):
+        rows = result.tables[0]["rows"]
+        static_sigma = rows[0][1]
+        best = max(row[1] for row in rows)
+        # per-snapshot re-optimization is the offline reference; it must be
+        # at least the static value (each chunk optimized separately)
+        assert best >= static_sigma
+
+    def test_totals_bounded_by_max(self, result):
+        max_total = result.params["max_total"]
+        for row in result.tables[0]["rows"]:
+            assert 0 <= row[1] <= max_total
+
+
+class TestGeneralityExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_generality(scale="quick", seed=1)
+
+    def test_both_network_families_present(self, result):
+        networks = {row[0] for row in result.tables[0]["rows"]}
+        assert networks == {"erdos-renyi", "barabasi-albert"}
+
+    def test_orderings_note(self, result):
+        assert "yes" in result.notes[-1]
+
+    def test_aa_grows_with_k(self, result):
+        by_network = {}
+        for row in result.tables[0]["rows"]:
+            by_network.setdefault(row[0], []).append(row[2])
+        for values in by_network.values():
+            assert values == sorted(values)
+
+    def test_ratios_valid(self, result):
+        for row in result.tables[0]["rows"]:
+            assert 0.0 <= row[6] <= 1.0 + 1e-9

@@ -1,0 +1,66 @@
+"""Unit tests for the experiment runners' helper functions."""
+
+import pytest
+
+from repro.core.problem import MSCInstance
+from repro.experiments.fig2 import _with_budget
+from repro.experiments.fig4 import _trace_at
+from repro.experiments.fig5 import _with_budget as _dyn_with_budget
+from repro.experiments.table1 import _trend_note
+from tests.conftest import path_graph
+
+
+class TestTraceAt:
+    def test_picks_best_so_far_at_checkpoints(self):
+        trace = [1, 1, 2, 2, 3, 5, 5]
+        assert _trace_at(trace, [1, 3, 7]) == [1, 2, 5]
+
+    def test_checkpoint_beyond_trace_clamps(self):
+        assert _trace_at([1, 2], [5]) == [2]
+
+    def test_empty_trace(self):
+        assert _trace_at([], [1, 2]) == [0, 0]
+
+
+class TestWithBudget:
+    def test_static_budget_clone(self, tiny_instance):
+        clone = _with_budget(tiny_instance, 1)
+        assert clone.k == 1
+        assert clone.pairs == tiny_instance.pairs
+        assert clone.d_threshold == tiny_instance.d_threshold
+        assert clone.oracle is tiny_instance.oracle  # APSP reused
+
+    def test_dynamic_budget_clone(self):
+        g = path_graph([1.0] * 4)
+        from repro.dynamics.series import DynamicMSCInstance
+
+        dyn = DynamicMSCInstance(
+            [MSCInstance(g, [(0, 4)], 3, d_threshold=1.5)]
+        )
+        scoped = _dyn_with_budget(dyn, 1)
+        assert scoped.k == 1
+        assert scoped.T == dyn.T
+
+
+class TestTrendNote:
+    def make_grid(self, first, last):
+        from repro.core.ratio import RatioReport
+
+        return {
+            0.1: [
+                RatioReport(ratio=first, sigma_value=1, nu_value=2, k=2),
+                RatioReport(ratio=last, sigma_value=1, nu_value=2, k=4),
+            ]
+        }
+
+    def test_down(self):
+        note = _trend_note(self.make_grid(0.5, 0.3), [0.1], [2, 4])
+        assert "0.1:down" in note
+
+    def test_up(self):
+        note = _trend_note(self.make_grid(0.3, 0.5), [0.1], [2, 4])
+        assert "0.1:up" in note
+
+    def test_flat(self):
+        note = _trend_note(self.make_grid(0.4, 0.4), [0.1], [2, 4])
+        assert "0.1:flat" in note

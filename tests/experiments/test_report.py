@@ -1,0 +1,83 @@
+"""Tests for repro.experiments.report (markdown report builder)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.report import (
+    build_report,
+    result_to_markdown,
+    write_report,
+)
+from repro.experiments.results import ExperimentResult
+from repro.util.serialization import dump_json
+
+
+def sample_result():
+    result = ExperimentResult(
+        name="table1", title="Ratio grid", params={"k": [2, 4], "seed": 1}
+    )
+    result.add_table("Table I", ["k", "ratio"], [[2, 0.5], [4, 0.25]])
+    result.add_series("fig", "k", [2, 4], [("AA", [3, 5])])
+    result.notes.append("shape holds")
+    return result
+
+
+class TestResultToMarkdown:
+    def test_contains_all_blocks(self):
+        text = result_to_markdown(sample_result().to_json())
+        assert "## table1 — Ratio grid" in text
+        assert "| k | ratio |" in text
+        assert "| 2 | 0.5000 |" in text
+        assert "| k | AA |" in text
+        assert "> shape holds" in text
+        assert "`seed=1`" in text
+
+    def test_positions_param_omitted(self):
+        result = sample_result()
+        result.params["positions"] = {"0": [0.1, 0.2]}
+        text = result_to_markdown(result.to_json())
+        assert "positions" not in text
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValidationError, match="missing"):
+            result_to_markdown({"title": "x"})
+
+    def test_pipe_escaped(self):
+        result = ExperimentResult(name="t", title="T")
+        result.add_table("tab", ["a"], [["x|y"]])
+        assert "x\\|y" in result_to_markdown(result.to_json())
+
+
+class TestBuildReport:
+    def test_combines_multiple_files(self, tmp_path):
+        one = tmp_path / "one.json"
+        two = tmp_path / "two.json"
+        dump_json([sample_result().to_json()], one)
+        dump_json(sample_result().to_json(), two)  # single-dict shape
+        text = build_report([one, two], title="My report")
+        assert text.startswith("# My report")
+        assert text.count("## table1") == 2
+
+    def test_bad_payload_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        dump_json([42], bad)
+        with pytest.raises(ValidationError, match="result dict"):
+            build_report([bad])
+
+    def test_write_report_creates_dirs(self, tmp_path):
+        src = tmp_path / "r.json"
+        dump_json(sample_result().to_json(), src)
+        out = tmp_path / "deep" / "report.md"
+        write_report([src], out)
+        assert out.read_text().startswith("# MSC reproduction report")
+
+
+class TestCliReport:
+    def test_report_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "r.json"
+        dump_json([sample_result().to_json()], src)
+        out = tmp_path / "report.md"
+        assert main(["report", str(src), "-o", str(out)]) == 0
+        assert "Ratio grid" in out.read_text()

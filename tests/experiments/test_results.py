@@ -1,0 +1,38 @@
+"""Tests for repro.experiments.results."""
+
+from repro.experiments.results import ExperimentResult
+
+
+class TestExperimentResult:
+    def test_render_includes_everything(self):
+        result = ExperimentResult(
+            name="t", title="Title", params={"k": 3}
+        )
+        result.add_table("Tab", ["a"], [[1]])
+        result.add_series("Fig", "x", [1, 2], [("s", [3, 4])])
+        result.notes.append("shape ok")
+        text = result.render()
+        assert "== t: Title ==" in text
+        assert "k=3" in text
+        assert "Tab" in text and "Fig" in text
+        assert "note: shape ok" in text
+
+    def test_to_json_roundtrip(self, tmp_path):
+        result = ExperimentResult(name="t", title="Title")
+        result.add_table("Tab", ["a"], [[1]])
+        path = tmp_path / "r.json"
+        data = result.to_json(str(path))
+        assert data["name"] == "t"
+        assert path.exists()
+
+    def test_series_tuples_normalized(self):
+        result = ExperimentResult(name="t", title="T")
+        result.add_series("F", "x", (1,), [("s", (2,))])
+        assert result.series[0]["x"] == [1]
+        assert result.series[0]["series"][0][1] == [2]
+
+    def test_precision_forwarded(self):
+        result = ExperimentResult(name="t", title="T")
+        result.add_table("Tab", ["a"], [[0.123456]])
+        assert "0.12" in result.render(precision=2)
+        assert "0.1235" in result.render(precision=4)

@@ -1,0 +1,81 @@
+"""Tests for repro.experiments.stats (multi-seed aggregation)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.results import ExperimentResult
+from repro.experiments.stats import aggregate_results, run_with_seeds
+
+
+def result_with(name="exp", sigma_values=(1, 3), label="A"):
+    result = ExperimentResult(
+        name=name, title="T", params={"seed": 1, "k": 2}
+    )
+    result.add_table(
+        "tab", ["label", "sigma"], [[label, sigma_values[0]]]
+    )
+    result.add_series(
+        "fig", "k", [2, 4], [("AA", list(sigma_values))]
+    )
+    return result
+
+
+class TestAggregateResults:
+    def test_means_and_stds(self):
+        merged = aggregate_results(
+            [result_with(sigma_values=(1, 3)),
+             result_with(sigma_values=(3, 5))]
+        )
+        fig = merged.series[0]
+        series = dict(fig["series"])
+        assert series["AA"] == [2.0, 4.0]
+        # sample std of {1,3} and {3,5} is sqrt(2) each
+        assert series["AA ±std"][0] == pytest.approx(2 ** 0.5)
+
+    def test_table_numeric_cells_averaged(self):
+        merged = aggregate_results(
+            [result_with(sigma_values=(2, 2)),
+             result_with(sigma_values=(4, 4))]
+        )
+        row = merged.tables[0]["rows"][0]
+        assert row == ["A", 3.0]
+
+    def test_matching_labels_kept(self):
+        merged = aggregate_results([result_with(), result_with()])
+        assert merged.tables[0]["rows"][0][0] == "A"
+
+    def test_disagreeing_labels_rejected(self):
+        with pytest.raises(ValidationError, match="disagree"):
+            aggregate_results(
+                [result_with(label="A"), result_with(label="B")]
+            )
+
+    def test_mixed_names_rejected(self):
+        with pytest.raises(ValidationError, match="aggregate"):
+            aggregate_results(
+                [result_with(name="a"), result_with(name="b")]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="nothing"):
+            aggregate_results([])
+
+    def test_params_record_seed_count(self):
+        merged = aggregate_results([result_with(), result_with()])
+        assert merged.params["seeds"] == 2
+        assert "seed" not in merged.params
+
+    def test_single_result_zero_std(self):
+        merged = aggregate_results([result_with()])
+        series = dict(merged.series[0]["series"])
+        assert series["AA ±std"] == [0.0, 0.0]
+
+
+@pytest.mark.slow
+class TestRunWithSeeds:
+    def test_table1_across_seeds(self):
+        merged = run_with_seeds("table1", seeds=[1, 2], scale="quick")
+        assert merged.params["seeds"] == 2
+        # averaged ratios remain valid ratios
+        for row in merged.tables[0]["rows"]:
+            assert all(0.0 <= cell <= 1.0 + 1e-9 for cell in row[1:])

@@ -1,0 +1,87 @@
+"""Tests for the supplementary experiments (ablations + MSC-CN)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_ablation_aea,
+    run_ablation_ea_mutation,
+    run_ablation_sandwich,
+)
+from repro.experiments.msc_cn_exp import run_msc_cn
+from repro.experiments.runner import (
+    SUPPLEMENTARY,
+    all_experiment_names,
+    get_experiment,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestRegistry:
+    def test_supplementary_registered(self):
+        assert set(SUPPLEMENTARY) == {
+            "ablation_sandwich", "ablation_aea", "ablation_ea",
+            "ablation_warmstart",
+            "msc_cn", "delivery", "prediction", "generality",
+            "replanning",
+        }
+
+    def test_lookup_finds_supplementary(self):
+        assert get_experiment("ablation_aea") is run_ablation_aea
+
+    def test_all_names_superset(self):
+        names = all_experiment_names()
+        assert "table1" in names and "msc_cn" in names
+
+
+class TestAblationSandwich:
+    def test_best_is_max_of_components(self):
+        result = run_ablation_sandwich(scale="quick", seed=1)
+        for row in result.tables[0]["rows"]:
+            _i, mu, sig, nu, best, winner = row
+            assert best == max(mu, sig, nu)
+            assert winner in ("mu", "sigma", "nu")
+
+    def test_winner_counts_sum_to_instances(self):
+        result = run_ablation_sandwich(scale="quick", seed=1)
+        counts = sum(r[1] for r in result.tables[1]["rows"])
+        assert counts == len(result.tables[0]["rows"])
+
+
+class TestAblationAea:
+    def test_delta_sweep_covers_extremes(self):
+        result = run_ablation_aea(scale="quick", seed=1)
+        deltas = [row[0] for row in result.tables[0]["rows"]]
+        assert 0.0 in deltas and 1.0 in deltas
+
+    def test_pure_random_costs_fewest_evaluations(self):
+        """δ=1.0 (all random swaps) performs one evaluation per iteration;
+        greedy swaps cost k+1."""
+        result = run_ablation_aea(scale="quick", seed=1)
+        rows = {row[0]: row[2] for row in result.tables[0]["rows"]}
+        assert rows[1.0] < rows[0.0]
+
+
+class TestAblationEa:
+    def test_sigma_nondecreasing_in_budget(self):
+        result = run_ablation_ea_mutation(scale="quick", seed=1)
+        sigmas = [row[1] for row in result.tables[0]["rows"]]
+        assert sigmas == sorted(sigmas)
+
+    def test_greedy_reference_recorded(self):
+        result = run_ablation_ea_mutation(scale="quick", seed=1)
+        assert result.params["greedy_sigma"] >= 0
+
+
+class TestMscCnExperiment:
+    def test_bound_confirmed(self):
+        result = run_msc_cn(scale="quick", seed=1)
+        assert "yes" in result.notes[0]
+
+    def test_greedy_close_to_exact(self):
+        result = run_msc_cn(scale="quick", seed=1)
+        for row in result.tables[0]["rows"]:
+            _i, _k, greedy, aa, rnd, exact = row
+            if exact != "-":
+                assert greedy <= exact
+                assert greedy >= (1 - 1 / 2.718281828) * exact - 1e-9

@@ -1,0 +1,66 @@
+"""Tests for repro.experiments.workloads."""
+
+import pytest
+
+from repro.experiments.workloads import (
+    gowalla_workload,
+    rg_workload,
+    tactical_dynamic_instance,
+)
+
+
+class TestRgWorkload:
+    def test_builds_connected_graph(self):
+        w = rg_workload(seed=1, n=60)
+        assert w.name == "rg"
+        assert w.graph.number_of_nodes() > 0
+        assert w.positions is not None
+
+    def test_instance_sampling(self):
+        w = rg_workload(seed=1, n=60)
+        inst = w.instance(0.08, m=10, k=3, seed=2)
+        assert inst.m == 10
+        assert inst.k == 3
+        assert inst.oracle is w.oracle  # oracle shared, APSP reused
+
+    def test_instance_deterministic(self):
+        w = rg_workload(seed=1, n=60)
+        a = w.instance(0.08, m=10, k=3, seed=2)
+        b = w.instance(0.08, m=10, k=3, seed=2)
+        assert a.pairs == b.pairs
+
+
+class TestGowallaWorkload:
+    def test_paper_scale(self):
+        w = gowalla_workload(seed=1)
+        assert w.graph.number_of_nodes() == 134
+
+    def test_instance_at_paper_thresholds(self):
+        w = gowalla_workload(seed=1)
+        for p_t in (0.23, 0.27, 0.31, 0.35):
+            inst = w.instance(p_t, m=20, k=4, seed=(1, p_t))
+            assert inst.m == 20
+
+
+class TestTacticalDynamic:
+    def test_builds_dynamic_instance(self):
+        dyn = tactical_dynamic_instance(
+            0.11, m=8, k=4, T=3, seed=1, n=25
+        )
+        assert dyn.T == 3
+        assert dyn.k == 4
+        assert dyn.total_pairs == 24
+
+    def test_shared_node_universe(self):
+        dyn = tactical_dynamic_instance(
+            0.11, m=6, k=3, T=4, seed=2, n=20
+        )
+        nodes = dyn.instances[0].graph.nodes
+        assert all(inst.graph.nodes == nodes for inst in dyn.instances)
+
+    def test_deterministic(self):
+        a = tactical_dynamic_instance(0.11, m=6, k=3, T=3, seed=5, n=20)
+        b = tactical_dynamic_instance(0.11, m=6, k=3, T=3, seed=5, n=20)
+        assert [i.pairs for i in a.instances] == [
+            i.pairs for i in b.instances
+        ]

@@ -1,0 +1,142 @@
+"""Tests for repro.failure.models — the probability/length transform is the
+mathematical foundation of the whole reduction (paper Eq. 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.failure.models import (
+    ConstantFailure,
+    DistanceProportionalFailure,
+    ExponentialDistanceFailure,
+    failure_to_length,
+    length_to_failure,
+    path_failure_probability,
+    path_length_from_failures,
+)
+
+
+class TestTransform:
+    def test_zero_probability_zero_length(self):
+        assert failure_to_length(0.0) == 0.0
+
+    def test_known_value(self):
+        assert failure_to_length(0.5) == pytest.approx(math.log(2))
+
+    def test_probability_one_rejected(self):
+        with pytest.raises(ValidationError):
+            failure_to_length(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            failure_to_length(-0.1)
+
+    def test_inverse_known_value(self):
+        assert length_to_failure(math.log(2)) == pytest.approx(0.5)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValidationError):
+            length_to_failure(-0.1)
+
+    @given(st.floats(0.0, 0.999999))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, p):
+        assert length_to_failure(failure_to_length(p)) == pytest.approx(
+            p, abs=1e-12
+        )
+
+    @given(st.floats(0.0, 0.99), st.floats(0.0, 0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, a, b):
+        if a < b:
+            assert failure_to_length(a) < failure_to_length(b)
+
+
+class TestPathFailure:
+    def test_single_edge(self):
+        assert path_failure_probability([0.3]) == pytest.approx(0.3)
+
+    def test_two_edges_eq1(self):
+        # 1 - (1-0.1)(1-0.2) = 0.28
+        assert path_failure_probability([0.1, 0.2]) == pytest.approx(0.28)
+
+    def test_empty_path_never_fails(self):
+        assert path_failure_probability([]) == 0.0
+
+    def test_zero_probability_edges_ignored(self):
+        assert path_failure_probability([0.0, 0.4, 0.0]) == pytest.approx(
+            0.4
+        )
+
+    @given(st.lists(st.floats(0.0, 0.9), max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_length_space_equivalence(self, probs):
+        """Eq. (1): p = 1 - exp(-sum of lengths). The additive length space
+        must agree with the multiplicative survival space."""
+        total_length = path_length_from_failures(probs)
+        assert path_failure_probability(probs) == pytest.approx(
+            -math.expm1(-total_length), abs=1e-12
+        )
+
+    @given(st.lists(st.floats(0.0, 0.9), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_path_at_least_as_bad_as_worst_edge(self, probs):
+        assert path_failure_probability(probs) >= max(probs) - 1e-12
+
+
+class TestConstantFailure:
+    def test_ignores_distance(self):
+        model = ConstantFailure(0.2)
+        assert model.failure_probability(0.0) == 0.2
+        assert model.failure_probability(100.0) == 0.2
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            ConstantFailure(1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValidationError):
+            ConstantFailure(0.2).failure_probability(-1.0)
+
+
+class TestDistanceProportional:
+    def test_proportionality(self):
+        model = DistanceProportionalFailure(0.01)
+        assert model.failure_probability(10.0) == pytest.approx(0.1)
+        assert model.failure_probability(20.0) == pytest.approx(0.2)
+
+    def test_cap_applies(self):
+        model = DistanceProportionalFailure(1.0, cap=0.5)
+        assert model.failure_probability(100.0) == 0.5
+
+    def test_for_radius_hits_max_at_radius(self):
+        model = DistanceProportionalFailure.for_radius(200.0, 0.25)
+        assert model.failure_probability(200.0) == pytest.approx(0.25)
+        assert model.failure_probability(100.0) == pytest.approx(0.125)
+
+    def test_for_radius_zero_radius_rejected(self):
+        with pytest.raises(ValueError):
+            DistanceProportionalFailure.for_radius(0.0, 0.1)
+
+    def test_zero_distance_reliable(self):
+        model = DistanceProportionalFailure.for_radius(1.0, 0.3)
+        assert model.failure_probability(0.0) == 0.0
+
+    def test_repr(self):
+        assert "coefficient" in repr(DistanceProportionalFailure(0.5))
+
+
+class TestExponentialDistance:
+    def test_length_is_linear_in_distance(self):
+        model = ExponentialDistanceFailure(rate=2.0)
+        p = model.failure_probability(3.0)
+        assert failure_to_length(p) == pytest.approx(6.0)
+
+    def test_zero_distance(self):
+        assert ExponentialDistanceFailure(1.0).failure_probability(0.0) == 0.0
+
+    def test_bounded_below_one(self):
+        assert ExponentialDistanceFailure(1.0).failure_probability(1e6) < 1.0

@@ -1,0 +1,49 @@
+"""Tests for repro.graph.distances (DistanceOracle)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.distances import DistanceOracle
+from repro.graph.paths import all_pairs_distance_matrix
+from tests.conftest import grid_graph, path_graph
+
+
+class TestDistanceOracle:
+    def test_matrix_matches_apsp(self):
+        g = grid_graph(3, 3)
+        oracle = DistanceOracle(g)
+        assert np.allclose(oracle.matrix, all_pairs_distance_matrix(g))
+
+    def test_lazy_single_computation(self):
+        g = path_graph([1.0, 2.0])
+        oracle = DistanceOracle(g)
+        first = oracle.matrix
+        assert oracle.matrix is first  # cached, not recomputed
+
+    def test_distance_by_nodes(self):
+        g = path_graph([1.0, 2.0])
+        oracle = DistanceOracle(g)
+        assert oracle.distance(0, 2) == pytest.approx(3.0)
+
+    def test_distance_by_index(self):
+        g = path_graph([1.0, 2.0])
+        oracle = DistanceOracle(g)
+        assert oracle.distance_by_index(0, 2) == pytest.approx(3.0)
+
+    def test_row_views(self):
+        g = path_graph([1.0, 1.0])
+        oracle = DistanceOracle(g)
+        assert list(oracle.row(0)) == pytest.approx([0.0, 1.0, 2.0])
+        assert list(oracle.row_by_index(2)) == pytest.approx(
+            [2.0, 1.0, 0.0]
+        )
+
+    def test_number_of_nodes(self):
+        g = path_graph([1.0])
+        assert DistanceOracle(g).number_of_nodes() == 2
+
+    def test_backend_forcing(self):
+        g = grid_graph(2, 2)
+        a = DistanceOracle(g, use_scipy=False).matrix
+        b = DistanceOracle(g, use_scipy=True).matrix
+        assert np.allclose(a, b)

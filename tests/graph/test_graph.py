@@ -1,0 +1,178 @@
+"""Tests for repro.graph.graph (WirelessGraph)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.graph import WirelessGraph
+
+
+class TestNodes:
+    def test_add_node_returns_index(self):
+        g = WirelessGraph()
+        assert g.add_node("a") == 0
+        assert g.add_node("b") == 1
+
+    def test_add_node_idempotent(self):
+        g = WirelessGraph()
+        assert g.add_node("a") == g.add_node("a")
+        assert g.number_of_nodes() == 1
+
+    def test_index_roundtrip(self):
+        g = WirelessGraph()
+        g.add_nodes(["x", "y", "z"])
+        for node in g.nodes:
+            assert g.index_node(g.node_index(node)) == node
+
+    def test_unknown_node_raises(self):
+        g = WirelessGraph()
+        with pytest.raises(GraphError, match="unknown node"):
+            g.node_index("missing")
+
+    def test_bad_index_raises(self):
+        g = WirelessGraph()
+        with pytest.raises(GraphError):
+            g.index_node(0)
+
+    def test_contains_and_len(self):
+        g = WirelessGraph()
+        g.add_nodes([1, 2])
+        assert 1 in g and 3 not in g
+        assert len(g) == 2
+
+    def test_arbitrary_hashable_nodes(self):
+        g = WirelessGraph()
+        g.add_edge(("squad", 1), ("squad", 2), length=1.0)
+        assert g.has_edge(("squad", 1), ("squad", 2))
+
+
+class TestEdges:
+    def test_add_edge_by_probability_derives_length(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, failure_probability=0.1)
+        assert g.length(0, 1) == pytest.approx(-math.log(0.9))
+        assert g.failure_probability(0, 1) == pytest.approx(0.1)
+
+    def test_add_edge_by_length_derives_probability(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=0.5)
+        assert g.failure_probability(0, 1) == pytest.approx(
+            1 - math.exp(-0.5)
+        )
+
+    def test_zero_failure_gives_zero_length(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, failure_probability=0.0)
+        assert g.length(0, 1) == 0.0
+
+    def test_both_attributes_rejected(self):
+        g = WirelessGraph()
+        with pytest.raises(GraphError, match="exactly one"):
+            g.add_edge(0, 1, failure_probability=0.1, length=0.1)
+
+    def test_neither_attribute_rejected(self):
+        g = WirelessGraph()
+        with pytest.raises(GraphError, match="exactly one"):
+            g.add_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        g = WirelessGraph()
+        with pytest.raises(GraphError, match="self-loop"):
+            g.add_edge(0, 0, length=1.0)
+
+    def test_undirected_symmetry(self):
+        g = WirelessGraph()
+        g.add_edge("a", "b", length=2.0)
+        assert g.length("a", "b") == g.length("b", "a") == 2.0
+
+    def test_re_add_overwrites(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=1.0)
+        g.add_edge(0, 1, length=3.0)
+        assert g.length(0, 1) == 3.0
+        assert g.number_of_edges() == 1
+
+    def test_remove_edge(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=1.0)
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.number_of_nodes() == 2  # nodes stay
+
+    def test_remove_missing_edge_raises(self):
+        g = WirelessGraph()
+        g.add_nodes([0, 1])
+        with pytest.raises(GraphError, match="no edge"):
+            g.remove_edge(0, 1)
+
+    def test_missing_edge_length_raises(self):
+        g = WirelessGraph()
+        g.add_nodes([0, 1])
+        with pytest.raises(GraphError, match="no edge"):
+            g.length(0, 1)
+
+    def test_edges_listing_each_once(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=1.0)
+        g.add_edge(1, 2, length=2.0)
+        assert sorted(g.edges) == [(0, 1, 1.0), (1, 2, 2.0)]
+
+    def test_neighbors_and_degree(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=1.0)
+        g.add_edge(0, 2, length=2.0)
+        assert dict(g.neighbors(0)) == {1: 1.0, 2: 2.0}
+        assert g.degree(0) == 2
+        assert g.degree(1) == 1
+
+    def test_invalid_probability_rejected(self):
+        g = WirelessGraph()
+        with pytest.raises(Exception):
+            g.add_edge(0, 1, failure_probability=1.0)
+        with pytest.raises(Exception):
+            g.add_edge(0, 1, failure_probability=-0.1)
+
+    def test_negative_length_rejected(self):
+        g = WirelessGraph()
+        with pytest.raises(Exception):
+            g.add_edge(0, 1, length=-1.0)
+
+
+class TestConversion:
+    def test_copy_is_independent(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=1.0)
+        clone = g.copy()
+        clone.add_edge(1, 2, length=1.0)
+        clone.remove_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert not g.has_node(2)
+
+    def test_to_networkx(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, failure_probability=0.2)
+        nxg = g.to_networkx()
+        assert nxg.number_of_edges() == 1
+        assert nxg[0][1]["failure_probability"] == pytest.approx(0.2)
+        assert nxg[0][1]["length"] == pytest.approx(-math.log(0.8))
+
+    def test_from_edges_by_length(self):
+        g = WirelessGraph.from_edges([(0, 1, 1.5)], nodes=[9])
+        assert g.length(0, 1) == 1.5
+        assert g.has_node(9)
+
+    def test_from_edges_by_probability(self):
+        g = WirelessGraph.from_edges(
+            [(0, 1, 0.3)], by="failure_probability"
+        )
+        assert g.failure_probability(0, 1) == pytest.approx(0.3)
+
+    def test_from_edges_bad_attribute(self):
+        with pytest.raises(GraphError, match="unknown edge attribute"):
+            WirelessGraph.from_edges([], by="weight")
+
+    def test_repr_mentions_sizes(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=1.0)
+        assert "n=2" in repr(g) and "e=1" in repr(g)

@@ -1,0 +1,105 @@
+"""Tests for repro.graph.kpaths (Yen's k shortest loopless paths)."""
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph.graph import WirelessGraph
+from repro.graph.kpaths import k_shortest_paths
+from tests.conftest import grid_graph, path_graph, random_graph
+
+
+def diamond_graph():
+    """Two parallel 2-hop routes plus one 3-hop route 0 -> 3."""
+    g = WirelessGraph()
+    g.add_edge(0, 1, length=1.0)
+    g.add_edge(1, 3, length=1.0)
+    g.add_edge(0, 2, length=1.5)
+    g.add_edge(2, 3, length=1.5)
+    g.add_edge(1, 2, length=0.2)
+    return g
+
+
+class TestBasics:
+    def test_first_path_is_shortest(self):
+        g = diamond_graph()
+        paths = k_shortest_paths(g, 0, 3, 1)
+        assert paths[0] == (2.0, [0, 1, 3])
+
+    def test_orders_by_length(self):
+        g = diamond_graph()
+        paths = k_shortest_paths(g, 0, 3, 4)
+        lengths = [l for l, _p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_paths_are_distinct_and_loopless(self):
+        g = diamond_graph()
+        paths = k_shortest_paths(g, 0, 3, 4)
+        as_tuples = [tuple(p) for _l, p in paths]
+        assert len(set(as_tuples)) == len(as_tuples)
+        for path in as_tuples:
+            assert len(set(path)) == len(path)
+
+    def test_fewer_paths_than_k(self):
+        g = path_graph([1.0, 1.0])  # single route
+        paths = k_shortest_paths(g, 0, 2, 5)
+        assert len(paths) == 1
+
+    def test_unreachable_raises(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=1.0)
+        g.add_node(2)
+        with pytest.raises(GraphError):
+            k_shortest_paths(g, 0, 2, 2)
+
+    def test_same_endpoints_rejected(self):
+        g = path_graph([1.0])
+        with pytest.raises(GraphError, match="differ"):
+            k_shortest_paths(g, 0, 0, 2)
+
+    def test_path_endpoints_correct(self):
+        g = grid_graph(3, 3)
+        for _l, path in k_shortest_paths(g, 0, 8, 5):
+            assert path[0] == 0 and path[-1] == 8
+
+    def test_lengths_match_edge_sums(self):
+        g = grid_graph(3, 3)
+        for length, path in k_shortest_paths(g, 0, 8, 5):
+            total = sum(g.length(a, b) for a, b in zip(path, path[1:]))
+            assert total == pytest.approx(length)
+
+
+class TestAgainstNetworkx:
+    @given(
+        n=st.integers(4, 10),
+        k=st.integers(1, 5),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx_simple_paths(self, n, k, seed):
+        """Our k shortest paths must equal the k cheapest entries of the
+        full loopless path enumeration."""
+        rng = random.Random(seed)
+        g = random_graph(n, 0.5, rng)
+        nxg = g.to_networkx()
+        try:
+            all_paths = list(nx.all_simple_paths(nxg, 0, n - 1))
+        except nx.NodeNotFound:
+            return
+        if not all_paths:
+            return
+        ref = sorted(
+            sum(
+                nxg[a][b]["length"] for a, b in zip(path, path[1:])
+            )
+            for path in all_paths
+        )[:k]
+        ours = [l for l, _p in k_shortest_paths(g, 0, n - 1, k)]
+        assert len(ours) == len(ref)
+        for mine, expected in zip(ours, ref):
+            assert mine == pytest.approx(expected)

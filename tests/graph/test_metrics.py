@@ -1,0 +1,86 @@
+"""Tests for repro.graph.metrics."""
+
+import pytest
+
+from repro.graph.graph import WirelessGraph
+from repro.graph.metrics import (
+    connected_components,
+    graph_stats,
+    induced_subgraph,
+    is_connected,
+    largest_component,
+)
+from tests.conftest import grid_graph, path_graph
+
+
+def two_component_graph():
+    g = WirelessGraph()
+    g.add_edge(0, 1, length=1.0)
+    g.add_edge(1, 2, length=1.0)
+    g.add_edge(3, 4, length=1.0)
+    return g
+
+
+class TestComponents:
+    def test_connected_graph_single_component(self):
+        assert len(connected_components(grid_graph(3, 3))) == 1
+
+    def test_two_components(self):
+        comps = connected_components(two_component_graph())
+        assert sorted(sorted(c) for c in comps) == [[0, 1, 2], [3, 4]]
+
+    def test_isolated_nodes_are_components(self):
+        g = WirelessGraph()
+        g.add_nodes([0, 1, 2])
+        assert len(connected_components(g)) == 3
+
+    def test_is_connected(self):
+        assert is_connected(path_graph([1.0]))
+        assert not is_connected(two_component_graph())
+
+    def test_empty_graph_not_connected(self):
+        assert not is_connected(WirelessGraph())
+
+    def test_largest_component(self):
+        assert sorted(largest_component(two_component_graph())) == [0, 1, 2]
+
+    def test_largest_component_empty(self):
+        assert largest_component(WirelessGraph()) == []
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        g = two_component_graph()
+        sub = induced_subgraph(g, [0, 1, 3])
+        assert sub.has_edge(0, 1)
+        assert not sub.has_node(2)
+        assert sub.has_node(3)
+        assert sub.number_of_edges() == 1
+
+    def test_preserves_lengths(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=2.5)
+        sub = induced_subgraph(g, [0, 1])
+        assert sub.length(0, 1) == 2.5
+
+
+class TestGraphStats:
+    def test_counts(self):
+        stats = graph_stats(two_component_graph())
+        assert stats.nodes == 5
+        assert stats.edges == 3
+        assert stats.components == 2
+        assert stats.average_degree == pytest.approx(6 / 5)
+
+    def test_weighted_diameter_finite_pairs_only(self):
+        stats = graph_stats(two_component_graph())
+        assert stats.weighted_diameter == pytest.approx(2.0)
+
+    def test_empty_graph(self):
+        stats = graph_stats(WirelessGraph())
+        assert stats.nodes == 0
+        assert stats.average_degree == 0.0
+
+    def test_str_contains_fields(self):
+        text = str(graph_stats(path_graph([1.0])))
+        assert "n=2" in text and "e=1" in text

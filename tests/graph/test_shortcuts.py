@@ -1,0 +1,217 @@
+"""Tests for repro.graph.shortcuts — the supernode-contraction distance
+engine must be *exactly* equivalent to running Dijkstra on the augmented
+graph. This is the correctness keystone of the whole library."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph.distances import DistanceOracle
+from repro.graph.graph import WirelessGraph
+from repro.graph.shortcuts import ShortcutDistanceEngine
+from tests.conftest import grid_graph, path_graph, random_graph
+
+
+def reference_distances(graph, shortcuts, source):
+    """Ground truth: networkx Dijkstra on the augmented graph."""
+    nxg = graph.to_networkx()
+    for a, b in shortcuts:
+        # A shortcut may parallel an existing edge; keep the minimum.
+        if nxg.has_edge(a, b):
+            nxg[a][b]["length"] = 0.0
+        else:
+            nxg.add_edge(a, b, length=0.0)
+    return nx.single_source_dijkstra_path_length(
+        nxg, source, weight="length"
+    )
+
+
+class TestNoShortcuts:
+    def test_identity_on_base_distances(self):
+        g = grid_graph(3, 3)
+        oracle = DistanceOracle(g)
+        engine = ShortcutDistanceEngine(oracle, [])
+        assert list(engine.distances_from(0)) == pytest.approx(
+            list(oracle.row(0))
+        )
+
+    def test_distance_scalar(self):
+        g = path_graph([1.0, 2.0])
+        engine = ShortcutDistanceEngine(DistanceOracle(g), [])
+        assert engine.distance(0, 2) == pytest.approx(3.0)
+
+
+class TestSingleShortcut:
+    def test_bridges_far_nodes(self):
+        g = path_graph([1.0] * 5)  # 0..5
+        engine = ShortcutDistanceEngine(DistanceOracle(g), [(0, 5)])
+        assert engine.distance(0, 5) == 0.0
+        assert engine.distance(1, 5) == pytest.approx(1.0)
+        assert engine.distance(1, 4) == pytest.approx(2.0)
+
+    def test_parallel_to_existing_edge(self):
+        g = path_graph([1.0, 1.0])
+        engine = ShortcutDistanceEngine(DistanceOracle(g), [(0, 1)])
+        assert engine.distance(0, 2) == pytest.approx(1.0)
+
+    def test_self_loop_rejected(self):
+        g = path_graph([1.0])
+        with pytest.raises(GraphError, match="self-loop"):
+            ShortcutDistanceEngine(DistanceOracle(g), [(0, 0)])
+
+    def test_out_of_range_index_rejected(self):
+        g = path_graph([1.0])
+        with pytest.raises(GraphError, match="out of range"):
+            ShortcutDistanceEngine.from_index_pairs(
+                DistanceOracle(g), [(0, 5)]
+            )
+
+
+class TestChainedShortcuts:
+    def test_shortcut_chain_collapses(self):
+        """Shortcuts (a,b) and (b,c) make a, b, c mutually distance 0."""
+        g = path_graph([1.0] * 6)
+        engine = ShortcutDistanceEngine(
+            DistanceOracle(g), [(0, 3), (3, 6)]
+        )
+        assert engine.distance(0, 6) == 0.0
+
+    def test_two_disjoint_components_chain_through_base(self):
+        """Path through supernode A, some base edges, then supernode B."""
+        g = path_graph([1.0] * 9)  # 0..9
+        engine = ShortcutDistanceEngine(
+            DistanceOracle(g), [(0, 4), (5, 9)]
+        )
+        # 0 ->(shortcut) 4 ->(base) 5 ->(shortcut) 9
+        assert engine.distance(0, 9) == pytest.approx(1.0)
+
+    def test_connects_disconnected_components(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=1.0)
+        g.add_edge(2, 3, length=1.0)
+        oracle = DistanceOracle(g)
+        assert math.isinf(oracle.distance(0, 3))
+        engine = ShortcutDistanceEngine(oracle, [(1, 2)])
+        assert engine.distance(0, 3) == pytest.approx(2.0)
+
+
+class TestIntrospection:
+    def test_component_indices(self):
+        g = path_graph([1.0] * 4)
+        engine = ShortcutDistanceEngine(
+            DistanceOracle(g), [(0, 2), (2, 4), (1, 3)]
+        )
+        comps = sorted(sorted(c) for c in engine.component_indices)
+        assert comps == [[0, 2, 4], [1, 3]]
+
+    def test_chained_components_merge(self):
+        g = path_graph([1.0] * 4)
+        engine = ShortcutDistanceEngine(
+            DistanceOracle(g), [(0, 2), (2, 4), (4, 1), (1, 3)]
+        )
+        comps = engine.component_indices
+        assert len(comps) == 1
+        assert sorted(comps[0]) == [0, 1, 2, 3, 4]
+
+    def test_shortcut_indices_preserved(self):
+        g = path_graph([1.0] * 3)
+        engine = ShortcutDistanceEngine(DistanceOracle(g), [(3, 0)])
+        assert engine.shortcut_indices == [(3, 0)]
+
+
+class TestSatisfiedPairs:
+    def test_threshold_check(self):
+        g = path_graph([1.0] * 4)
+        oracle = DistanceOracle(g)
+        engine = ShortcutDistanceEngine(oracle, [(0, 4)])
+        flags = engine.satisfied_pairs([(0, 4), (1, 3)], threshold=1.0)
+        assert flags == [True, False]
+
+    def test_exact_boundary_counts(self):
+        g = path_graph([0.5, 0.5])
+        engine = ShortcutDistanceEngine(DistanceOracle(g), [])
+        assert engine.satisfied_pairs([(0, 2)], threshold=1.0) == [True]
+
+
+class TestAgainstNetworkx:
+    @given(
+        n=st.integers(3, 14),
+        edge_prob=st.floats(0.1, 0.7),
+        n_shortcuts=st.integers(0, 6),
+        seed=st.integers(0, 100_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distances_match_augmented_dijkstra(
+        self, n, edge_prob, n_shortcuts, seed
+    ):
+        rng = random.Random(seed)
+        g = random_graph(n, edge_prob, rng)
+        shortcuts = []
+        for _ in range(n_shortcuts):
+            a, b = rng.sample(range(n), 2)
+            shortcuts.append((a, b))
+        engine = ShortcutDistanceEngine(DistanceOracle(g), shortcuts)
+        source = rng.randrange(n)
+        ref = reference_distances(g, shortcuts, source)
+        mine = engine.distances_from(source)
+        for v in range(n):
+            expected = ref.get(v, math.inf)
+            if math.isinf(expected):
+                assert math.isinf(mine[v])
+            else:
+                assert mine[v] == pytest.approx(expected, abs=1e-9)
+
+    @given(
+        n=st.integers(4, 12),
+        seed=st.integers(0, 100_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_exact_with_zero_length_base_edges(self, n, seed):
+        """Perfectly reliable *base* links (p=0, length 0) must interoperate
+        with shortcut contraction — scipy's zero-handling and the supernode
+        algebra both get exercised."""
+        rng = random.Random(seed)
+        g = WirelessGraph()
+        g.add_nodes(range(n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < 0.4:
+                    length = 0.0 if rng.random() < 0.3 else rng.uniform(0, 2)
+                    g.add_edge(i, j, length=length)
+        shortcuts = [
+            tuple(rng.sample(range(n), 2))
+            for _ in range(rng.randrange(0, 4))
+        ]
+        engine = ShortcutDistanceEngine(DistanceOracle(g), shortcuts)
+        source = rng.randrange(n)
+        ref = reference_distances(g, shortcuts, source)
+        mine = engine.distances_from_index(source)
+        for v in range(n):
+            expected = ref.get(v, math.inf)
+            if math.isinf(expected):
+                assert math.isinf(mine[v])
+            else:
+                assert mine[v] == pytest.approx(expected, abs=1e-9)
+
+    @given(
+        n=st.integers(3, 10),
+        seed=st.integers(0, 100_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_matches_vector_query(self, n, seed):
+        rng = random.Random(seed)
+        g = random_graph(n, 0.4, rng)
+        shortcuts = [tuple(rng.sample(range(n), 2)) for _ in range(3)]
+        engine = ShortcutDistanceEngine(DistanceOracle(g), shortcuts)
+        u, v = rng.sample(range(n), 2)
+        row = engine.distances_from(u)
+        scalar = engine.distance(u, v)
+        if math.isinf(scalar):
+            assert math.isinf(row[v])
+        else:
+            assert scalar == pytest.approx(float(row[v]))

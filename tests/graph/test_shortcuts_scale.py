@@ -1,0 +1,59 @@
+"""Scale sanity: the shortcut engine stays exact on a larger instance than
+the unit tests use (n=300, many shortcuts), cross-checked against networkx.
+"""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph.distances import DistanceOracle
+from repro.graph.shortcuts import ShortcutDistanceEngine
+from tests.conftest import random_graph
+
+pytestmark = pytest.mark.slow
+
+
+def test_engine_exact_at_n300():
+    rng = random.Random(99)
+    graph = random_graph(300, 0.02, rng)
+    shortcuts = []
+    for _ in range(25):
+        a, b = rng.sample(range(300), 2)
+        shortcuts.append((a, b))
+    engine = ShortcutDistanceEngine(DistanceOracle(graph), shortcuts)
+
+    nxg = graph.to_networkx()
+    for a, b in shortcuts:
+        if nxg.has_edge(a, b):
+            nxg[a][b]["length"] = 0.0
+        else:
+            nxg.add_edge(a, b, length=0.0)
+
+    for source in rng.sample(range(300), 5):
+        ref = nx.single_source_dijkstra_path_length(
+            nxg, source, weight="length"
+        )
+        mine = engine.distances_from_index(source)
+        for v in range(300):
+            expected = ref.get(v, math.inf)
+            if math.isinf(expected):
+                assert math.isinf(mine[v])
+            else:
+                assert mine[v] == pytest.approx(expected, abs=1e-9)
+
+
+def test_batched_queries_match_single_at_scale():
+    rng = random.Random(100)
+    graph = random_graph(200, 0.03, rng)
+    shortcuts = [tuple(rng.sample(range(200), 2)) for _ in range(15)]
+    engine = ShortcutDistanceEngine(DistanceOracle(graph), shortcuts)
+    sources = rng.sample(range(200), 40)
+    batched = engine.distances_from_indices(sources)
+    for row, source in zip(batched, sources):
+        single = engine.distances_from_index(source)
+        assert all(
+            (math.isinf(a) and math.isinf(b)) or a == pytest.approx(b)
+            for a, b in zip(row, single)
+        )

@@ -1,0 +1,61 @@
+"""Cross-algorithm guarantee checks against the exact optimum on small
+instances — the empirical counterpart of Theorems 5-7 and Eq. (5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aea import solve_aea
+from repro.core.ea import solve_ea
+from repro.core.exact import solve_exact
+from repro.core.sandwich import SandwichApproximation
+from tests.core.helpers import random_instance
+
+APPROX = 1 - 1 / math.e
+
+
+class TestSandwichGuarantee:
+    @given(seed=st.integers(0, 3_000))
+    @settings(max_examples=10, deadline=None)
+    def test_practical_eq5_bound(self, seed):
+        instance = random_instance(seed, n_range=(4, 8), k=2, max_pairs=4)
+        aa = SandwichApproximation(instance)
+        result = aa.solve()
+        opt = solve_exact(instance).sigma
+        bound = result.extras["ratio"] * APPROX * opt
+        assert result.sigma >= bound - 1e-9
+
+
+class TestEvolutionaryConvergence:
+    @given(seed=st.integers(0, 3_000))
+    @settings(max_examples=6, deadline=None)
+    def test_aea_reaches_near_optimal_with_generous_budget(self, seed):
+        """On tiny instances AEA's mostly-greedy swaps should match the
+        exact optimum given plenty of iterations (paper Fig. 4's message)."""
+        instance = random_instance(seed, n_range=(4, 7), k=2, max_pairs=4)
+        opt = solve_exact(instance).sigma
+        result = solve_aea(instance, seed=seed, iterations=150)
+        assert result.sigma >= opt - 1
+
+    @given(seed=st.integers(0, 3_000))
+    @settings(max_examples=6, deadline=None)
+    def test_ea_improves_toward_optimum(self, seed):
+        instance = random_instance(seed, n_range=(4, 6), k=2, max_pairs=3)
+        opt = solve_exact(instance).sigma
+        short = solve_ea(instance, seed=seed, iterations=20)
+        long = solve_ea(instance, seed=seed, iterations=600)
+        assert long.sigma >= short.sigma
+        assert long.sigma <= opt
+
+
+class TestNobodyBeatsExact:
+    @given(seed=st.integers(0, 3_000))
+    @settings(max_examples=8, deadline=None)
+    def test_all_heuristics_bounded_by_exact(self, seed):
+        instance = random_instance(seed, n_range=(4, 7), k=2, max_pairs=4)
+        opt = solve_exact(instance).sigma
+        assert SandwichApproximation(instance).solve().sigma <= opt
+        assert solve_ea(instance, seed=1, iterations=50).sigma <= opt
+        assert solve_aea(instance, seed=1, iterations=30).sigma <= opt

@@ -1,0 +1,112 @@
+"""End-to-end pipelines: generate workload -> select pairs -> solve ->
+verify the placement against an independent reference implementation."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import (
+    MSCInstance,
+    SandwichApproximation,
+    random_geometric_network,
+    select_important_pairs,
+    solve_aea,
+    solve_ea,
+    solve_random_baseline,
+)
+from repro.experiments.workloads import (
+    gowalla_workload,
+    tactical_dynamic_instance,
+)
+
+
+def verify_placement(instance, result):
+    """Recompute σ for the reported edges with networkx (independent of the
+    library's distance machinery) and check it matches."""
+    nxg = instance.graph.to_networkx()
+    for u, v in result.edges:
+        if nxg.has_edge(u, v):
+            nxg[u][v]["length"] = 0.0
+        else:
+            nxg.add_edge(u, v, length=0.0)
+    count = 0
+    for u, w in instance.pairs:
+        try:
+            d = nx.shortest_path_length(nxg, u, w, weight="length")
+        except nx.NetworkXNoPath:
+            continue
+        if d <= instance.d_threshold + 1e-9:
+            count += 1
+    assert count == result.sigma, (result.algorithm, count, result.sigma)
+
+
+class TestRgPipeline:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        net = random_geometric_network(70, 0.22, seed=31)
+        pairs = select_important_pairs(
+            net.graph, m=20, p_threshold=0.1, seed=32
+        )
+        return MSCInstance(net.graph, pairs, k=4, p_threshold=0.1)
+
+    def test_sandwich_verified(self, instance):
+        verify_placement(instance, SandwichApproximation(instance).solve())
+
+    def test_ea_verified(self, instance):
+        verify_placement(
+            instance, solve_ea(instance, seed=33, iterations=100)
+        )
+
+    def test_aea_verified(self, instance):
+        verify_placement(
+            instance, solve_aea(instance, seed=33, iterations=40)
+        )
+
+    def test_random_verified(self, instance):
+        verify_placement(
+            instance, solve_random_baseline(instance, seed=33, trials=60)
+        )
+
+    def test_ordering_aa_above_random(self, instance):
+        aa = SandwichApproximation(instance).solve()
+        rnd = solve_random_baseline(instance, seed=34, trials=100)
+        assert aa.sigma >= rnd.sigma
+
+
+class TestGowallaPipeline:
+    def test_full_pipeline(self):
+        w = gowalla_workload(seed=41)
+        instance = w.instance(0.27, m=30, k=4, seed=42)
+        result = SandwichApproximation(instance).solve()
+        verify_placement(instance, result)
+        assert result.sigma > 0  # shortcuts must help on this workload
+
+    def test_community_effect(self):
+        """One shortcut edge should rescue multiple pairs at once on the
+        venue-clustered network (paper §VII-D's observation)."""
+        w = gowalla_workload(seed=41)
+        instance = w.instance(0.27, m=30, k=1, seed=42)
+        result = SandwichApproximation(instance).solve()
+        assert result.sigma >= 2
+
+
+class TestTacticalPipeline:
+    def test_dynamic_pipeline_consistency(self):
+        dyn = tactical_dynamic_instance(0.11, m=8, k=4, T=4, seed=51, n=30)
+        result = dyn.solve_sandwich()
+        per = dyn.sigma_per_topology(
+            dyn.edges_to_index_pairs(result.edges)
+        )
+        assert sum(per) == result.sigma
+        assert all(0 <= v <= 8 for v in per)
+
+    def test_static_solution_weaker_than_dynamic(self):
+        """Optimizing only for topology 0 must not beat optimizing the
+        summed objective, measured on the summed objective."""
+        dyn = tactical_dynamic_instance(0.11, m=8, k=4, T=4, seed=52, n=30)
+        dynamic_result = dyn.solve_sandwich()
+        static_result = SandwichApproximation(dyn.instances[0]).solve()
+        static_edges = dyn.edges_to_index_pairs(static_result.edges)
+        static_total = dyn.sigma_function().value(static_edges)
+        assert dynamic_result.sigma >= static_total

@@ -1,0 +1,110 @@
+"""Medium-scale shape checks: the qualitative findings of §VII must hold on
+reduced-size versions of the paper's own workloads.
+
+These are the reproduction's acceptance tests — each asserts a *shape*
+("who wins, what grows") rather than an absolute number.
+"""
+
+import pytest
+
+from repro.core.aea import solve_aea
+from repro.core.ea import solve_ea
+from repro.core.random_baseline import solve_random_baseline
+from repro.core.ratio import sandwich_ratio
+from repro.core.sandwich import SandwichApproximation
+from repro.experiments.workloads import gowalla_workload, rg_workload
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def rg():
+    return rg_workload(seed=77, n=80)
+
+
+@pytest.fixture(scope="module")
+def rg_instance(rg):
+    return rg.instance(0.1, m=30, k=6, seed=78)
+
+
+class TestOrderings:
+    def test_aa_beats_best_of_500_random(self, rg_instance):
+        aa = SandwichApproximation(rg_instance).solve()
+        rnd = solve_random_baseline(rg_instance, seed=79, trials=500)
+        assert aa.sigma >= rnd.sigma
+
+    def test_aea_competitive_with_aa(self, rg_instance):
+        """Paper Fig. 3-4: AEA is in AA's ballpark at r in the hundreds
+        (the exact ordering flips with the instance; AEA can sit in a
+        1-swap local optimum a few pairs below greedy)."""
+        aa = SandwichApproximation(rg_instance).solve()
+        aea = solve_aea(rg_instance, seed=80, iterations=300)
+        assert aea.sigma >= 0.8 * aa.sigma
+
+    def test_ea_clearly_below_aea(self, rg_instance):
+        ea = solve_ea(rg_instance, seed=81, iterations=300)
+        aea = solve_aea(rg_instance, seed=81, iterations=300)
+        assert aea.sigma >= ea.sigma
+
+
+class TestGrowthShapes:
+    def test_sigma_grows_with_k(self, rg):
+        instance = rg.instance(0.1, m=30, k=8, seed=82)
+        values = [
+            SandwichApproximation(instance).solve(k=k).sigma
+            for k in (1, 3, 5, 8)
+        ]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_sigma_grows_with_p_t(self, rg):
+        """A looser requirement (larger p_t) is easier to meet for the same
+        pair count; compare on a shared pair set selected at the stricter
+        threshold."""
+        from repro.core.problem import MSCInstance
+
+        strict = rg.instance(0.08, m=30, k=5, seed=83)
+        loose = MSCInstance(
+            rg.graph,
+            strict.pairs,
+            5,
+            p_threshold=0.14,
+            oracle=rg.oracle,
+            require_initially_unsatisfied=False,
+        )
+        sigma_strict = SandwichApproximation(strict).solve().sigma
+        sigma_loose = SandwichApproximation(loose).solve().sigma
+        assert sigma_loose >= sigma_strict
+
+
+class TestRatioShapes:
+    def test_ratio_decreases_with_k_on_rg(self, rg):
+        instance = rg.instance(0.1, m=15, k=10, seed=84)
+        ratios = [
+            sandwich_ratio(instance, k).ratio for k in (2, 6, 10)
+        ]
+        # Monotone within noise (paper Tables I/II show a consistent drop).
+        assert ratios[0] >= ratios[-1] - 0.1
+
+    def test_gowalla_ratio_often_higher_than_rg(self):
+        """Paper Table II vs Table I: Gowalla's clustered structure makes ν
+        tighter. Compare at each workload's native thresholds."""
+        rg_w = rg_workload(seed=85, n=80)
+        gw = gowalla_workload(seed=85)
+        rg_ratio = sandwich_ratio(
+            rg_w.instance(0.1, m=15, k=4, seed=86)
+        ).ratio
+        gw_ratio = sandwich_ratio(
+            gw.instance(0.27, m=30, k=4, seed=86)
+        ).ratio
+        # Not a strict theorem; allow generous slack but catch regressions
+        # where the Gowalla structure stops mattering at all.
+        assert gw_ratio >= rg_ratio - 0.25
+
+
+class TestCommunityEffect:
+    def test_single_edge_rescues_bundles_on_gowalla(self):
+        gw = gowalla_workload(seed=87)
+        instance = gw.instance(0.27, m=40, k=2, seed=88)
+        result = SandwichApproximation(instance).solve()
+        assert result.sigma / max(len(result.edges), 1) >= 2

@@ -1,0 +1,112 @@
+"""Tests for repro.netgen.checkins."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.failure.models import ConstantFailure
+from repro.netgen.checkins import (
+    CheckIn,
+    filter_window,
+    min_user_distance,
+    project_to_meters,
+    proximity_graph,
+    user_locations,
+)
+
+
+def ci(user, t, lat, lon):
+    return CheckIn(user=user, timestamp=t, latitude=lat, longitude=lon)
+
+
+ORIGIN = (30.0, -97.0)
+
+
+class TestProjection:
+    def test_origin_maps_to_zero(self):
+        assert project_to_meters(30.0, -97.0, ORIGIN) == (0.0, 0.0)
+
+    def test_latitude_degree_scale(self):
+        x, y = project_to_meters(30.01, -97.0, ORIGIN)
+        assert x == pytest.approx(0.0)
+        assert y == pytest.approx(1113.2, rel=1e-3)
+
+    def test_longitude_scaled_by_cos_lat(self):
+        x, _ = project_to_meters(30.0, -96.99, ORIGIN)
+        assert x == pytest.approx(
+            0.01 * 111_320.0 * math.cos(math.radians(30.0)), rel=1e-9
+        )
+
+
+class TestWindowAndGrouping:
+    def test_filter_window(self):
+        records = [ci(1, t, 30, -97) for t in (0, 5, 10, 15)]
+        assert len(filter_window(records, 5, 10)) == 2
+        assert len(filter_window(records, None, 5)) == 2
+        assert len(filter_window(records, 10, None)) == 2
+
+    def test_user_locations_groups(self):
+        records = [ci(1, 0, 30, -97), ci(1, 1, 30.001, -97), ci(2, 0, 30, -97)]
+        locations = user_locations(records, origin=ORIGIN)
+        assert len(locations[1]) == 2
+        assert len(locations[2]) == 1
+
+    def test_empty_records(self):
+        assert user_locations([]) == {}
+
+    def test_min_user_distance(self):
+        a = [(0.0, 0.0), (10.0, 0.0)]
+        b = [(13.0, 4.0)]
+        assert min_user_distance(a, b) == pytest.approx(5.0)
+
+
+class TestProximityGraph:
+    def test_connects_close_users(self):
+        records = [
+            ci(1, 0, 30.0, -97.0),
+            ci(2, 0, 30.0005, -97.0),   # ~55 m away
+            ci(3, 0, 30.01, -97.0),     # ~1.1 km away
+        ]
+        graph, positions = proximity_graph(
+            records, 200.0, ConstantFailure(0.1), origin=ORIGIN
+        )
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(1, 3)
+        assert set(positions) == {1, 2, 3}
+
+    def test_min_over_checkins_rule(self):
+        """Two users connect if ANY pair of their check-ins is close."""
+        records = [
+            ci(1, 0, 30.0, -97.0),
+            ci(1, 1, 30.05, -97.0),  # second check-in far away
+            ci(2, 0, 30.0501, -97.0),  # close to user 1's second check-in
+        ]
+        graph, _ = proximity_graph(
+            records, 200.0, ConstantFailure(0.1), origin=ORIGIN
+        )
+        assert graph.has_edge(1, 2)
+
+    def test_window_filters_checkins(self):
+        records = [
+            ci(1, 100, 30.0, -97.0),
+            ci(2, 100, 30.0002, -97.0),
+            ci(3, 999, 30.0001, -97.0),  # outside window
+        ]
+        graph, _ = proximity_graph(
+            records, 200.0, ConstantFailure(0.1),
+            window=(0, 500), origin=ORIGIN,
+        )
+        assert graph.has_node(1) and graph.has_node(2)
+        assert not graph.has_node(3)
+
+    def test_empty_window_rejected(self):
+        records = [ci(1, 100, 30.0, -97.0)]
+        with pytest.raises(ValidationError, match="no check-ins"):
+            proximity_graph(
+                records, 200.0, ConstantFailure(0.1), window=(500, 600)
+            )
+
+    def test_invalid_radius(self):
+        with pytest.raises(Exception):
+            proximity_graph([ci(1, 0, 30, -97)], 0.0, ConstantFailure(0.1))

@@ -1,0 +1,103 @@
+"""Tests for repro.netgen.general (ER / BA generators)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.graph.metrics import is_connected
+from repro.netgen.general import barabasi_albert_network, erdos_renyi_network
+
+
+class TestErdosRenyi:
+    def test_deterministic_for_seed(self):
+        a = erdos_renyi_network(30, 0.2, seed=1)
+        b = erdos_renyi_network(30, 0.2, seed=1)
+        assert sorted(a.edges) == sorted(b.edges)
+
+    def test_edge_count_scales_with_probability(self):
+        sparse = erdos_renyi_network(
+            40, 0.05, seed=2, restrict_to_largest_component=False
+        )
+        dense = erdos_renyi_network(
+            40, 0.5, seed=2, restrict_to_largest_component=False
+        )
+        assert dense.number_of_edges() > sparse.number_of_edges()
+
+    def test_zero_probability_empty(self):
+        g = erdos_renyi_network(
+            10, 0.0, seed=3, restrict_to_largest_component=False
+        )
+        assert g.number_of_edges() == 0
+        assert g.number_of_nodes() == 10
+
+    def test_failure_range_respected(self):
+        g = erdos_renyi_network(
+            30, 0.3, failure_range=(0.2, 0.4), seed=4
+        )
+        for u, v, _l in g.edges:
+            assert 0.2 <= g.failure_probability(u, v) <= 0.4 + 1e-9
+
+    def test_largest_component_restriction(self):
+        g = erdos_renyi_network(60, 0.05, seed=5)
+        assert is_connected(g)
+
+    def test_inverted_failure_range_rejected(self):
+        with pytest.raises(ValidationError, match="exceeds"):
+            erdos_renyi_network(10, 0.3, failure_range=(0.5, 0.1))
+
+    def test_invalid_probability(self):
+        with pytest.raises(Exception):
+            erdos_renyi_network(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_always_connected(self):
+        g = barabasi_albert_network(50, 2, seed=1)
+        assert is_connected(g)
+        assert g.number_of_nodes() == 50
+
+    def test_edge_count_formula(self):
+        """Core clique C(m+1, 2) plus m edges per remaining node."""
+        n, m = 40, 3
+        g = barabasi_albert_network(n, m, seed=2)
+        expected = m * (m + 1) // 2 + (n - (m + 1)) * m
+        assert g.number_of_edges() == expected
+
+    def test_hub_formation(self):
+        """Preferential attachment produces degree skew: the max degree
+        should far exceed the attachment parameter."""
+        g = barabasi_albert_network(100, 2, seed=3)
+        degrees = sorted(g.degree(v) for v in g.nodes)
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+
+    def test_deterministic_for_seed(self):
+        a = barabasi_albert_network(30, 2, seed=4)
+        b = barabasi_albert_network(30, 2, seed=4)
+        assert sorted(a.edges) == sorted(b.edges)
+
+    def test_attachments_bound(self):
+        with pytest.raises(ValidationError, match="must be <"):
+            barabasi_albert_network(5, 5)
+
+    def test_failure_range_respected(self):
+        g = barabasi_albert_network(
+            30, 2, failure_range=(0.3, 0.5), seed=5
+        )
+        for u, v, _l in g.edges:
+            assert 0.3 <= g.failure_probability(u, v) <= 0.5 + 1e-9
+
+    @given(
+        n=st.integers(5, 40),
+        m=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_connected_and_simple(self, n, m, seed):
+        if m >= n:
+            return
+        g = barabasi_albert_network(n, m, seed=seed)
+        assert is_connected(g)
+        # simple graph: no duplicate edges (guaranteed by structure) and
+        # every new node has exactly m distinct neighbors at creation.
+        assert g.number_of_edges() <= n * (n - 1) // 2

@@ -1,0 +1,113 @@
+"""Tests for repro.netgen.geometric."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.failure.models import ConstantFailure
+from repro.graph.metrics import is_connected
+from repro.netgen.geometric import (
+    GeometricNetwork,
+    build_proximity_graph,
+    random_geometric_network,
+)
+
+
+class TestBuildProximityGraph:
+    def test_connects_within_radius_only(self):
+        positions = {0: (0.0, 0.0), 1: (0.5, 0.0), 2: (2.0, 0.0)}
+        g = build_proximity_graph(positions, 1.0, ConstantFailure(0.1))
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(1, 2)
+
+    def test_radius_is_strict(self):
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0)}
+        g = build_proximity_graph(positions, 1.0, ConstantFailure(0.1))
+        assert not g.has_edge(0, 1)
+
+    def test_failure_model_applied(self):
+        positions = {0: (0.0, 0.0), 1: (0.5, 0.0)}
+        from repro.failure.models import DistanceProportionalFailure
+
+        model = DistanceProportionalFailure(0.2)
+        g = build_proximity_graph(positions, 1.0, model)
+        assert g.failure_probability(0, 1) == pytest.approx(0.1)
+
+    def test_all_nodes_present_even_isolated(self):
+        positions = {0: (0.0, 0.0), 1: (9.0, 9.0)}
+        g = build_proximity_graph(positions, 0.5, ConstantFailure(0.1))
+        assert g.number_of_nodes() == 2
+        assert g.number_of_edges() == 0
+
+
+class TestRandomGeometric:
+    def test_deterministic_for_seed(self):
+        a = random_geometric_network(40, 0.25, seed=5)
+        b = random_geometric_network(40, 0.25, seed=5)
+        assert a.positions == b.positions
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+    def test_seed_changes_layout(self):
+        a = random_geometric_network(40, 0.25, seed=5)
+        b = random_geometric_network(40, 0.25, seed=6)
+        assert a.positions != b.positions
+
+    def test_positions_in_unit_square(self):
+        net = random_geometric_network(30, 0.3, seed=1)
+        for x, y in net.positions.values():
+            assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+    def test_largest_component_restriction(self):
+        net = random_geometric_network(60, 0.15, seed=2)
+        assert is_connected(net.graph)
+        assert set(net.positions) == set(net.graph.nodes)
+
+    def test_no_restriction_keeps_all_nodes(self):
+        net = random_geometric_network(
+            60, 0.15, seed=2, restrict_to_largest_component=False
+        )
+        assert net.graph.number_of_nodes() == 60
+
+    def test_edge_lengths_match_failure_model(self):
+        net = random_geometric_network(
+            25, 0.3, max_link_failure=0.1, seed=3
+        )
+        for u, v, _length in net.graph.edges:
+            dist = net.distance(u, v)
+            assert dist < 0.3
+            expected = 0.1 * dist / 0.3
+            assert net.graph.failure_probability(u, v) == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    def test_radius_grows_connectivity(self):
+        sparse = random_geometric_network(
+            50, 0.1, seed=4, restrict_to_largest_component=False
+        )
+        dense = random_geometric_network(
+            50, 0.4, seed=4, restrict_to_largest_component=False
+        )
+        assert dense.graph.number_of_edges() > sparse.graph.number_of_edges()
+
+    def test_absurd_radius_rejected(self):
+        with pytest.raises(ValidationError, match="unit-square diameter"):
+            random_geometric_network(10, 2.0, seed=1)
+
+    def test_invalid_n(self):
+        with pytest.raises(Exception):
+            random_geometric_network(0, 0.2, seed=1)
+
+    def test_metadata_recorded(self):
+        net = random_geometric_network(20, 0.3, seed=1)
+        assert net.metadata["model"] == "random_geometric"
+        assert net.metadata["requested_n"] == 20
+
+    def test_distance_helper(self):
+        net = GeometricNetwork(
+            graph=random_geometric_network(5, 0.5, seed=1).graph,
+            positions={0: (0.0, 0.0), 1: (3.0, 4.0)},
+            radius=1.0,
+        )
+        assert net.distance(0, 1) == pytest.approx(5.0)

@@ -1,0 +1,134 @@
+"""Tests for repro.netgen.gowalla — SNAP loaders and the synthetic
+Austin-evening generator."""
+
+import math
+
+import pytest
+
+from repro.exceptions import TraceFormatError
+from repro.graph.metrics import graph_stats, is_connected
+from repro.netgen.gowalla import (
+    gowalla_network,
+    load_gowalla_checkins,
+    load_gowalla_friendships,
+    synthesize_gowalla_austin,
+)
+
+
+class TestSnapLoaders:
+    def test_checkins_format(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text(
+            "0\t2010-10-19T23:55:27Z\t30.2359091167\t-97.7951395833\t22847\n"
+            "1\t2010-10-18T22:17:43Z\t30.2691029532\t-97.7493953705\t420315\n"
+        )
+        records = load_gowalla_checkins(path)
+        assert len(records) == 2
+        assert records[0].user == 0
+        assert records[0].latitude == pytest.approx(30.2359091167)
+        assert records[1].longitude == pytest.approx(-97.7493953705)
+        assert records[0].timestamp > records[1].timestamp
+
+    def test_checkins_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text(
+            "\n0\t2010-10-19T23:55:27Z\t30.0\t-97.0\t1\n\n"
+        )
+        assert len(load_gowalla_checkins(path)) == 1
+
+    def test_checkins_wrong_field_count(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text("0\t2010-10-19T23:55:27Z\t30.0\n")
+        with pytest.raises(TraceFormatError, match="5 tab-separated"):
+            load_gowalla_checkins(path)
+
+    def test_checkins_bad_timestamp(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text("0\tnot-a-date\t30.0\t-97.0\t1\n")
+        with pytest.raises(TraceFormatError, match=":1:"):
+            load_gowalla_checkins(path)
+
+    def test_friendships_deduplicated_undirected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0\t1\n1\t0\n2\t3\n3\t3\n")
+        pairs = load_gowalla_friendships(path)
+        assert pairs == [(0, 1), (2, 3)]  # self-loop dropped, dedup
+
+    def test_friendships_bad_line(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(TraceFormatError, match="2 fields"):
+            load_gowalla_friendships(path)
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_for_seed(self):
+        a = synthesize_gowalla_austin(seed=3)
+        b = synthesize_gowalla_austin(seed=3)
+        assert a.checkins == b.checkins
+        assert a.friendships == b.friendships
+
+    def test_user_count(self):
+        data = synthesize_gowalla_austin(seed=1, n_users=100)
+        assert len({c.user for c in data.checkins}) == 100
+
+    def test_every_user_has_home_venue(self):
+        data = synthesize_gowalla_austin(seed=1)
+        users = {c.user for c in data.checkins}
+        assert set(data.user_home_venue) == users
+
+    def test_checkins_inside_window(self):
+        data = synthesize_gowalla_austin(seed=2, window_seconds=1000.0)
+        assert all(0 <= c.timestamp <= 1000.0 for c in data.checkins)
+
+    def test_bridge_users_have_two_checkins(self):
+        data = synthesize_gowalla_austin(seed=4, bridge_fraction=0.5)
+        counts = {}
+        for c in data.checkins:
+            counts[c.user] = counts.get(c.user, 0) + 1
+        assert any(v >= 2 for v in counts.values())
+
+    def test_custom_venue_sizes(self):
+        data = synthesize_gowalla_austin(
+            seed=1, n_users=20, venue_sizes=[10, 6, 4]
+        )
+        assert len(data.venue_centers) == 3
+
+    def test_venue_sizes_must_sum(self):
+        with pytest.raises(TraceFormatError, match="sum"):
+            synthesize_gowalla_austin(seed=1, n_users=20, venue_sizes=[5, 5])
+
+    def test_venue_separation(self):
+        data = synthesize_gowalla_austin(seed=5)
+        centers = list(data.venue_centers.values())
+        for i, (x1, y1) in enumerate(centers):
+            for x2, y2 in centers[i + 1:]:
+                assert math.hypot(x1 - x2, y1 - y2) >= 200.0
+
+
+class TestGowallaNetwork:
+    def test_paper_scale_and_connectivity(self):
+        graph, positions = gowalla_network(seed=42)
+        stats = graph_stats(graph)
+        assert stats.nodes == 134            # paper: 134 users
+        assert 1000 <= stats.edges <= 2600   # paper: 1886 edges
+        assert is_connected(graph)
+        assert set(positions) == set(graph.nodes)
+
+    def test_custom_checkins_bypass_generator(self):
+        from repro.netgen.checkins import CheckIn
+
+        records = [
+            CheckIn(user=1, timestamp=0, latitude=30.2672,
+                    longitude=-97.7431),
+            CheckIn(user=2, timestamp=0, latitude=30.2673,
+                    longitude=-97.7431),
+        ]
+        graph, _ = gowalla_network(checkins=records)
+        assert graph.number_of_nodes() == 2
+        assert graph.has_edge(1, 2)
+
+    def test_failure_probabilities_bounded(self):
+        graph, _ = gowalla_network(seed=7, max_link_failure=0.2)
+        for u, v, _length in graph.edges:
+            assert graph.failure_probability(u, v) <= 0.2 + 1e-9

@@ -1,0 +1,179 @@
+"""Tests for repro.netgen.pairs (important-pair selection, §VII-A3)."""
+
+import pytest
+
+from repro.exceptions import InstanceError
+from repro.failure.models import length_to_failure
+from repro.graph.distances import DistanceOracle
+from repro.graph.graph import WirelessGraph
+from repro.netgen.pairs import (
+    eligible_pairs,
+    select_common_node_pairs,
+    select_friend_pairs,
+    select_important_pairs,
+)
+from tests.conftest import path_graph, star_graph
+
+
+def long_path():
+    """Path with edges of failure probability 0.1 each (9 edges)."""
+    g = WirelessGraph()
+    for i in range(9):
+        g.add_edge(i, i + 1, failure_probability=0.1)
+    return g
+
+
+class TestEligiblePairs:
+    def test_only_violating_pairs(self):
+        g = long_path()
+        pairs = eligible_pairs(g, p_threshold=0.25)
+        # failure of a j-hop path is 1 - 0.9^j: > 0.25 iff j >= 3
+        for u, w in pairs:
+            assert abs(u - w) >= 3
+        assert all(abs(u - w) <= 2 for u, w in set(
+            ((a, b) for a in range(10) for b in range(a + 1, 10))
+        ) - set(pairs))
+
+    def test_threshold_zero_includes_everything_with_failure(self):
+        g = long_path()
+        pairs = eligible_pairs(g, p_threshold=0.0)
+        assert len(pairs) == 45  # all pairs have failure > 0
+
+    def test_max_failure_cap(self):
+        g = long_path()
+        capped = eligible_pairs(g, p_threshold=0.25, max_failure=0.5)
+        # 1 - 0.9^j <= 0.5 iff j <= 6
+        for u, w in capped:
+            assert 3 <= abs(u - w) <= 6
+
+    def test_disconnected_pairs_eligible_without_cap(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, failure_probability=0.01)
+        g.add_nodes([2])
+        pairs = eligible_pairs(g, p_threshold=0.5)
+        assert (0, 2) in pairs and (1, 2) in pairs
+
+    def test_disconnected_pairs_excluded_by_cap(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, failure_probability=0.01)
+        g.add_nodes([2])
+        pairs = eligible_pairs(g, p_threshold=0.5, max_failure=0.99)
+        assert (0, 2) not in pairs
+
+    def test_oracle_reuse(self):
+        g = long_path()
+        oracle = DistanceOracle(g)
+        assert eligible_pairs(g, 0.25, oracle=oracle) == eligible_pairs(
+            g, 0.25
+        )
+
+
+class TestSelectImportantPairs:
+    def test_selection_size_and_validity(self):
+        g = long_path()
+        pairs = select_important_pairs(g, m=5, p_threshold=0.25, seed=1)
+        assert len(pairs) == 5
+        eligible = set(eligible_pairs(g, 0.25))
+        assert all(tuple(sorted(p)) in eligible for p in pairs)
+
+    def test_deterministic_for_seed(self):
+        g = long_path()
+        a = select_important_pairs(g, m=5, p_threshold=0.25, seed=2)
+        b = select_important_pairs(g, m=5, p_threshold=0.25, seed=2)
+        assert a == b
+
+    def test_insufficient_pairs_raise(self):
+        g = long_path()
+        with pytest.raises(InstanceError, match="violate"):
+            select_important_pairs(g, m=100, p_threshold=0.25, seed=1)
+
+    def test_no_duplicates(self):
+        g = long_path()
+        pairs = select_important_pairs(g, m=10, p_threshold=0.25, seed=3)
+        assert len(set(map(tuple, pairs))) == 10
+
+    def test_invalid_m(self):
+        g = long_path()
+        with pytest.raises(Exception):
+            select_important_pairs(g, m=0, p_threshold=0.25)
+
+
+class TestSelectFriendPairs:
+    def test_only_violating_friendships(self):
+        g = long_path()
+        friendships = [(0, 1), (0, 5), (2, 9), (3, 4)]
+        pairs = select_friend_pairs(
+            g, friendships, m=2, p_threshold=0.25, seed=1
+        )
+        # only (0,5) and (2,9) violate (>= 3 hops at p=0.1/hop)
+        assert sorted(map(tuple, map(sorted, pairs))) == [(0, 5), (2, 9)]
+
+    def test_insufficient_friendships_raise(self):
+        g = long_path()
+        with pytest.raises(InstanceError, match="friendships"):
+            select_friend_pairs(
+                g, [(0, 1)], m=1, p_threshold=0.25, seed=1
+            )
+
+    def test_unknown_and_self_friendships_ignored(self):
+        g = long_path()
+        friendships = [(0, 0), (0, 99), (1, 8)]
+        pairs = select_friend_pairs(
+            g, friendships, m=1, p_threshold=0.25, seed=1
+        )
+        assert pairs == [(1, 8)]
+
+    def test_duplicate_friendships_deduplicated(self):
+        g = long_path()
+        friendships = [(0, 5), (5, 0), (0, 5)]
+        pairs = select_friend_pairs(
+            g, friendships, m=1, p_threshold=0.25, seed=1
+        )
+        assert len(pairs) == 1
+
+    def test_deterministic(self):
+        g = long_path()
+        friendships = [(0, 5), (1, 7), (2, 9), (0, 9)]
+        a = select_friend_pairs(g, friendships, 2, 0.25, seed=3)
+        b = select_friend_pairs(g, friendships, 2, 0.25, seed=3)
+        assert a == b
+
+    def test_works_with_synthetic_gowalla(self):
+        from repro.netgen.gowalla import (
+            gowalla_network,
+            synthesize_gowalla_austin,
+        )
+
+        data = synthesize_gowalla_austin(seed=42)
+        graph, _ = gowalla_network(seed=42)
+        pairs = select_friend_pairs(
+            graph, data.friendships, m=20, p_threshold=0.27, seed=4
+        )
+        assert len(pairs) == 20
+
+
+class TestSelectCommonNodePairs:
+    def test_all_pairs_share_common(self):
+        g = long_path()
+        pairs = select_common_node_pairs(
+            g, common=0, m=4, p_threshold=0.25, seed=1
+        )
+        assert len(pairs) == 4
+        assert all(p[0] == 0 for p in pairs)
+
+    def test_partners_violate_threshold(self):
+        g = long_path()
+        pairs = select_common_node_pairs(
+            g, common=0, m=4, p_threshold=0.25, seed=1
+        )
+        oracle = DistanceOracle(g)
+        for _, partner in pairs:
+            p_fail = length_to_failure(oracle.distance(0, partner))
+            assert p_fail > 0.25
+
+    def test_insufficient_partners_raise(self):
+        g = star_graph(3, length=0.01)
+        with pytest.raises(InstanceError, match="partners"):
+            select_common_node_pairs(
+                g, common=0, m=2, p_threshold=0.5, seed=1
+            )

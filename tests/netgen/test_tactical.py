@@ -1,0 +1,122 @@
+"""Tests for repro.netgen.tactical (RPGM trace generation)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.netgen.tactical import (
+    TacticalConfig,
+    generate_tactical_trace,
+    tactical_topology_series,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        TacticalConfig().validate()
+
+    def test_more_groups_than_nodes_rejected(self):
+        with pytest.raises(ValidationError, match="exceeds"):
+            TacticalConfig(n_nodes=3, n_groups=7).validate()
+
+    def test_invalid_counts(self):
+        with pytest.raises(Exception):
+            TacticalConfig(n_nodes=0).validate()
+        with pytest.raises(Exception):
+            TacticalConfig(snapshots=0).validate()
+
+
+class TestTraceGeneration:
+    def test_shape(self):
+        cfg = TacticalConfig(n_nodes=20, n_groups=4, snapshots=5)
+        trace = generate_tactical_trace(cfg, seed=1)
+        assert trace.snapshots == 5
+        assert trace.n_nodes == 20
+        assert len(trace.positions) == 5
+        assert all(len(frame) == 20 for frame in trace.positions)
+
+    def test_deterministic_for_seed(self):
+        cfg = TacticalConfig(n_nodes=15, snapshots=4)
+        a = generate_tactical_trace(cfg, seed=9)
+        b = generate_tactical_trace(cfg, seed=9)
+        assert a.positions == b.positions
+
+    def test_groups_round_robin(self):
+        cfg = TacticalConfig(n_nodes=10, n_groups=3, snapshots=2)
+        trace = generate_tactical_trace(cfg, seed=1)
+        sizes = {}
+        for g in trace.groups.values():
+            sizes[g] = sizes.get(g, 0) + 1
+        assert max(sizes.values()) - min(sizes.values()) <= 1
+
+    def test_positions_inside_area(self):
+        cfg = TacticalConfig(n_nodes=20, area_meters=500.0, snapshots=6)
+        trace = generate_tactical_trace(cfg, seed=2)
+        for frame in trace.positions:
+            for x, y in frame.values():
+                assert 0.0 <= x <= 500.0 and 0.0 <= y <= 500.0
+
+    def test_members_stay_near_reference(self):
+        """Group cohesion: nodes of one group stay within 2*member_radius
+        of each other (both within member_radius of the reference)."""
+        cfg = TacticalConfig(
+            n_nodes=14, n_groups=2, member_radius=50.0, snapshots=8,
+            area_meters=5000.0,
+        )
+        trace = generate_tactical_trace(cfg, seed=3)
+        for frame in trace.positions:
+            by_group = {}
+            for node, pos in frame.items():
+                by_group.setdefault(trace.groups[node], []).append(pos)
+            for members in by_group.values():
+                for x1, y1 in members:
+                    for x2, y2 in members:
+                        # Clipping at the area border can stretch this a bit.
+                        assert math.hypot(x1 - x2, y1 - y2) <= 110.0
+
+    def test_topology_changes_over_time(self):
+        cfg = TacticalConfig(n_nodes=30, snapshots=10)
+        trace = generate_tactical_trace(cfg, seed=4)
+        assert trace.positions[0] != trace.positions[-1]
+
+
+class TestTopologySeries:
+    def test_shared_node_universe(self):
+        cfg = TacticalConfig(n_nodes=20, snapshots=4)
+        trace = generate_tactical_trace(cfg, seed=5)
+        series = tactical_topology_series(trace, 250.0)
+        assert len(series) == 4
+        nodes = series[0].nodes
+        assert all(g.nodes == nodes for g in series)
+
+    def test_snapshot_subset(self):
+        cfg = TacticalConfig(n_nodes=20, snapshots=6)
+        trace = generate_tactical_trace(cfg, seed=5)
+        series = tactical_topology_series(trace, 250.0, snapshots=[0, 3])
+        assert len(series) == 2
+
+    def test_bad_snapshot_index(self):
+        cfg = TacticalConfig(n_nodes=10, snapshots=3)
+        trace = generate_tactical_trace(cfg, seed=5)
+        with pytest.raises(ValidationError, match="out of range"):
+            tactical_topology_series(trace, 250.0, snapshots=[5])
+
+    def test_larger_radius_denser_topologies(self):
+        cfg = TacticalConfig(n_nodes=25, snapshots=3)
+        trace = generate_tactical_trace(cfg, seed=6)
+        sparse = tactical_topology_series(trace, 100.0)
+        dense = tactical_topology_series(trace, 500.0)
+        assert sum(g.number_of_edges() for g in dense) > sum(
+            g.number_of_edges() for g in sparse
+        )
+
+    def test_failure_probability_bounded_by_model(self):
+        cfg = TacticalConfig(n_nodes=15, snapshots=2)
+        trace = generate_tactical_trace(cfg, seed=7)
+        series = tactical_topology_series(
+            trace, 300.0, max_link_failure=0.06
+        )
+        for g in series:
+            for u, v, _length in g.edges:
+                assert g.failure_probability(u, v) <= 0.06 + 1e-9

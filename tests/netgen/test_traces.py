@@ -1,0 +1,80 @@
+"""Tests for repro.netgen.traces (trace file I/O and failure injection)."""
+
+import pytest
+
+from repro.exceptions import TraceFormatError
+from repro.netgen.tactical import TacticalConfig, generate_tactical_trace
+from repro.netgen.traces import HEADER, load_trace, save_trace
+
+
+@pytest.fixture
+def trace():
+    cfg = TacticalConfig(n_nodes=12, n_groups=3, snapshots=4)
+    return generate_tactical_trace(cfg, seed=8)
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "op.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.times == trace.times
+        assert loaded.groups == trace.groups
+        for a, b in zip(loaded.positions, trace.positions):
+            assert set(a) == set(b)
+            for node in a:
+                assert a[node] == pytest.approx(b[node])
+
+    def test_creates_parent_dirs(self, trace, tmp_path):
+        path = tmp_path / "nested" / "op.trace"
+        save_trace(trace, path)
+        assert path.exists()
+
+
+class TestFailureInjection:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("0,1,2.0,3.0,0\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            load_trace(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="header"):
+            load_trace(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(HEADER + "\n")
+        with pytest.raises(TraceFormatError, match="no records"):
+            load_trace(path)
+
+    def test_wrong_field_count(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(HEADER + "\n0,1,2.0\n")
+        with pytest.raises(TraceFormatError, match="5 fields"):
+            load_trace(path)
+
+    def test_non_numeric_field(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(HEADER + "\n0,1,x,3.0,0\n")
+        with pytest.raises(TraceFormatError, match=":2:"):
+            load_trace(path)
+
+    def test_node_changing_group(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(
+            HEADER + "\n0,1,1.0,1.0,0\n1,1,2.0,2.0,1\n"
+        )
+        with pytest.raises(TraceFormatError, match="changes group"):
+            load_trace(path)
+
+    def test_inconsistent_node_set(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(
+            HEADER
+            + "\n0,1,1.0,1.0,0\n0,2,1.0,1.0,0\n1,1,2.0,2.0,0\n"
+        )
+        with pytest.raises(TraceFormatError, match="covers"):
+            load_trace(path)

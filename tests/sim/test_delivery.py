@@ -1,0 +1,156 @@
+"""Tests for repro.sim.delivery — including the model-validation property:
+Monte Carlo best-path delivery matches the analytic exp(-length)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SolverError
+from repro.sim.delivery import DeliverySimulator, PairDelivery
+from repro.graph.graph import WirelessGraph
+from tests.conftest import path_graph
+
+
+def two_hop_graph(p=0.2):
+    g = WirelessGraph()
+    g.add_edge(0, 1, failure_probability=p)
+    g.add_edge(1, 2, failure_probability=p)
+    return g
+
+
+class TestPairDelivery:
+    def test_rate(self):
+        pd = PairDelivery(pair=(0, 1), successes=70, trials=100)
+        assert pd.rate == 0.7
+
+    def test_wilson_interval_contains_rate(self):
+        pd = PairDelivery(pair=(0, 1), successes=70, trials=100)
+        lo, hi = pd.wilson_interval()
+        assert lo < 0.7 < hi
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_zero_trials(self):
+        pd = PairDelivery(pair=(0, 1), successes=0, trials=0)
+        assert pd.rate == 0.0
+        assert pd.wilson_interval() == (0.0, 1.0)
+
+
+class TestBestPath:
+    def test_analytic_probability(self):
+        sim = DeliverySimulator(two_hop_graph(0.2))
+        prob, path = sim.best_path(0, 2)
+        assert path == [0, 1, 2]
+        assert prob == pytest.approx(0.8 * 0.8)
+
+    def test_monte_carlo_matches_analytic(self):
+        sim = DeliverySimulator(two_hop_graph(0.2))
+        report = sim.simulate([(0, 2)], trials=4000, seed=1)
+        pd = report.pairs[0]
+        lo, hi = pd.wilson_interval(z=3.3)
+        assert lo <= pd.analytic <= hi
+
+    def test_shortcut_makes_delivery_certain(self):
+        sim = DeliverySimulator(two_hop_graph(0.5), shortcuts=[(0, 2)])
+        report = sim.simulate([(0, 2)], trials=100, seed=2)
+        assert report.pairs[0].rate == 1.0
+        assert report.pairs[0].analytic == pytest.approx(1.0)
+
+    def test_disconnected_pair_never_delivers(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, failure_probability=0.1)
+        g.add_node(2)
+        sim = DeliverySimulator(g)
+        report = sim.simulate([(0, 2)], trials=50, seed=3)
+        assert report.pairs[0].rate == 0.0
+        assert report.pairs[0].analytic == 0.0
+
+
+class TestStrategies:
+    def test_flooding_at_least_best_path(self):
+        """Flooding dominates single-path routing on redundant topologies."""
+        g = WirelessGraph()
+        # Two parallel 2-hop routes between 0 and 3.
+        g.add_edge(0, 1, failure_probability=0.3)
+        g.add_edge(1, 3, failure_probability=0.3)
+        g.add_edge(0, 2, failure_probability=0.3)
+        g.add_edge(2, 3, failure_probability=0.3)
+        sim = DeliverySimulator(g)
+        best = sim.simulate([(0, 3)], strategy="best_path",
+                            trials=2000, seed=4)
+        flood = sim.simulate([(0, 3)], strategy="flooding",
+                             trials=2000, seed=4)
+        assert flood.pairs[0].rate >= best.pairs[0].rate
+
+    def test_multipath_between_best_and_flooding(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, failure_probability=0.3)
+        g.add_edge(1, 3, failure_probability=0.3)
+        g.add_edge(0, 2, failure_probability=0.3)
+        g.add_edge(2, 3, failure_probability=0.3)
+        sim = DeliverySimulator(g)
+        best = sim.simulate([(0, 3)], strategy="best_path",
+                            trials=2000, seed=5).pairs[0].rate
+        multi = sim.simulate([(0, 3)], strategy="multipath",
+                             trials=2000, seed=5,
+                             multipath_k=2).pairs[0].rate
+        flood = sim.simulate([(0, 3)], strategy="flooding",
+                             trials=2000, seed=5).pairs[0].rate
+        assert best <= multi + 0.02
+        assert multi <= flood + 0.02
+
+    def test_flooding_analytic_two_parallel_paths(self):
+        """Two independent 2-hop routes with per-edge failure q: flooding
+        success = 1 - (1 - (1-q)^2)^2."""
+        q = 0.3
+        g = WirelessGraph()
+        g.add_edge(0, 1, failure_probability=q)
+        g.add_edge(1, 3, failure_probability=q)
+        g.add_edge(0, 2, failure_probability=q)
+        g.add_edge(2, 3, failure_probability=q)
+        sim = DeliverySimulator(g)
+        report = sim.simulate([(0, 3)], strategy="flooding",
+                              trials=6000, seed=6)
+        path_ok = (1 - q) ** 2
+        expected = 1 - (1 - path_ok) ** 2
+        assert report.pairs[0].rate == pytest.approx(expected, abs=0.03)
+
+    def test_unknown_strategy_rejected(self):
+        sim = DeliverySimulator(two_hop_graph())
+        with pytest.raises(SolverError, match="unknown strategy"):
+            sim.simulate([(0, 2)], strategy="teleport")
+
+
+class TestReport:
+    def test_mean_rate_and_requirement_count(self):
+        sim = DeliverySimulator(two_hop_graph(0.05))
+        report = sim.simulate([(0, 2), (0, 1)], trials=500, seed=7)
+        assert 0.8 <= report.mean_rate <= 1.0
+        # p_t = 0.2: both pairs should clear 1 - p_t easily.
+        assert report.meeting_requirement(0.2) == 2
+
+    def test_deterministic_for_seed(self):
+        sim = DeliverySimulator(two_hop_graph(0.3))
+        a = sim.simulate([(0, 2)], trials=200, seed=8)
+        b = sim.simulate([(0, 2)], trials=200, seed=8)
+        assert a.pairs[0].successes == b.pairs[0].successes
+
+
+class TestModelValidationProperty:
+    @given(
+        p1=st.floats(0.0, 0.8),
+        p2=st.floats(0.0, 0.8),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_two_hop_best_path_matches_product_rule(self, p1, p2, seed):
+        """End-to-end validation of Eq. (1): simulated delivery over a
+        2-hop path ≈ (1-p1)(1-p2)."""
+        g = WirelessGraph()
+        g.add_edge(0, 1, failure_probability=p1)
+        g.add_edge(1, 2, failure_probability=p2)
+        sim = DeliverySimulator(g)
+        report = sim.simulate([(0, 2)], trials=2500, seed=seed)
+        expected = (1 - p1) * (1 - p2)
+        assert report.pairs[0].rate == pytest.approx(expected, abs=0.05)

@@ -1,0 +1,79 @@
+"""Tests for repro.sim.sampling."""
+
+import random
+
+import pytest
+
+from repro.sim.sampling import (
+    adjacency_after_failures,
+    sample_failed_edges,
+    surviving_graph,
+)
+from repro.graph.graph import WirelessGraph
+from tests.conftest import path_graph
+
+
+def reliable_and_fragile():
+    g = WirelessGraph()
+    g.add_edge(0, 1, failure_probability=0.0)   # never fails
+    g.add_edge(1, 2, failure_probability=0.999)  # almost always fails
+    return g
+
+
+class TestSampleFailedEdges:
+    def test_zero_probability_never_fails(self):
+        g = reliable_and_fragile()
+        rng = random.Random(1)
+        for _ in range(50):
+            assert (0, 1) not in sample_failed_edges(g, rng)
+
+    def test_high_probability_fails_often(self):
+        g = reliable_and_fragile()
+        rng = random.Random(1)
+        failures = sum(
+            (1, 2) in sample_failed_edges(g, rng) for _ in range(200)
+        )
+        assert failures > 150
+
+    def test_frequency_matches_probability(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, failure_probability=0.3)
+        rng = random.Random(7)
+        trials = 3000
+        failures = sum(
+            (0, 1) in sample_failed_edges(g, rng) for _ in range(trials)
+        )
+        assert failures / trials == pytest.approx(0.3, abs=0.03)
+
+    def test_deterministic_for_seed(self):
+        g = path_graph([0.5, 0.5, 0.5])
+        a = [sample_failed_edges(g, random.Random(3)) for _ in range(1)]
+        b = [sample_failed_edges(g, random.Random(3)) for _ in range(1)]
+        assert a == b
+
+
+class TestSurvivingGraph:
+    def test_failed_edges_removed(self):
+        g = path_graph([1.0, 1.0])
+        survivor = surviving_graph(g, {(0, 1)})
+        assert not survivor.has_edge(0, 1)
+        assert survivor.has_edge(1, 2)
+        assert survivor.number_of_nodes() == 3
+
+    def test_reverse_orientation_also_removed(self):
+        g = path_graph([1.0])
+        survivor = surviving_graph(g, {(1, 0)})
+        assert not survivor.has_edge(0, 1)
+
+    def test_lengths_preserved(self):
+        g = path_graph([1.0, 2.0])
+        survivor = surviving_graph(g, set())
+        assert survivor.length(1, 2) == 2.0
+
+
+class TestAdjacencyAfterFailures:
+    def test_structure(self):
+        g = path_graph([1.0, 1.0])
+        adjacency = adjacency_after_failures(g, {(0, 1)})
+        assert adjacency[0] == []
+        assert sorted(adjacency[1]) == [2]

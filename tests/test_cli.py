@@ -1,0 +1,75 @@
+"""Tests for repro.cli."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.scale == "paper"
+        assert args.seed == 1
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig3", "fig4", "--scale", "quick", "--seed", "9"]
+        )
+        assert args.experiments == ["fig3", "fig4"]
+        assert args.scale == "quick"
+        assert args.seed == 9
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table1", "--scale", "huge"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table2", "fig1", "fig5"):
+            assert name in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table1", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "finished in" in out
+
+    def test_run_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "table1",
+                    "--scale",
+                    "quick",
+                    "--json",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(target.read_text())
+        assert data[0]["name"] == "table1"
+
+    def test_describe(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "RG workload" in out and "Gowalla workload" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(Exception):
+            main(["run", "fig99", "--scale", "quick"])

@@ -1,0 +1,63 @@
+"""Tests for the CLI's extended options (--charts, --seeds, report)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestChartsFlag:
+    def test_parser_accepts_charts(self):
+        args = build_parser().parse_args(
+            ["run", "fig2", "--scale", "quick", "--charts"]
+        )
+        assert args.charts
+
+    def test_charts_rendered(self, capsys):
+        assert main(["run", "fig2", "--scale", "quick", "--charts"]) == 0
+        out = capsys.readouterr().out
+        assert "o=AA" in out  # chart legend marker
+
+    def test_no_charts_by_default(self, capsys):
+        assert main(["run", "fig2", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "o=AA" not in out
+
+
+class TestSeedsFlag:
+    def test_parser_default_one(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.seeds == 1
+
+    def test_multi_seed_aggregation(self, capsys):
+        assert (
+            main(
+                ["run", "table1", "--scale", "quick", "--seeds", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mean of 2 seeds" in out
+
+    def test_non_aggregatable_falls_back(self, capsys):
+        assert (
+            main(["run", "fig1", "--scale", "quick", "--seeds", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "not aggregatable" in out
+        assert "fig1 finished" in out
+
+    def test_multi_seed_json_output(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        assert (
+            main(
+                [
+                    "run", "table1", "--scale", "quick",
+                    "--seeds", "2", "--json", str(target),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(target.read_text())
+        assert data[0]["params"]["seeds"] == 2

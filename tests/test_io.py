@@ -1,0 +1,120 @@
+"""Tests for repro.io (instance/placement persistence)."""
+
+import pytest
+
+from repro.core.problem import MSCInstance
+from repro.core.sandwich import SandwichApproximation
+from repro.exceptions import ValidationError
+from repro.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_instance,
+    load_placement,
+    save_instance,
+    save_placement,
+)
+from repro.util.serialization import dump_json, load_json
+from tests.conftest import path_graph
+
+
+class TestGraphRoundTrip:
+    def test_roundtrip_preserves_structure(self):
+        g = path_graph([0.5, 1.5, 2.5])
+        restored = graph_from_dict(graph_to_dict(g))
+        assert restored.nodes == g.nodes
+        assert sorted(restored.edges) == sorted(g.edges)
+
+    def test_failure_probabilities_survive(self):
+        g = path_graph([0.7])
+        restored = graph_from_dict(graph_to_dict(g))
+        assert restored.failure_probability(0, 1) == pytest.approx(
+            g.failure_probability(0, 1)
+        )
+
+    def test_string_nodes(self):
+        from repro.graph.graph import WirelessGraph
+
+        g = WirelessGraph()
+        g.add_edge("hq", "squad-1", length=1.0)
+        restored = graph_from_dict(graph_to_dict(g))
+        assert restored.has_edge("hq", "squad-1")
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValidationError, match="malformed"):
+            graph_from_dict({"nodes": [1]})
+
+    def test_bad_edge_entry_rejected(self):
+        with pytest.raises(ValidationError, match="length"):
+            graph_from_dict({"nodes": [0, 1], "edges": [[0, 1]]})
+
+
+class TestInstanceRoundTrip:
+    def test_roundtrip(self, tiny_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(tiny_instance, path)
+        restored = load_instance(path)
+        assert restored.pairs == tiny_instance.pairs
+        assert restored.k == tiny_instance.k
+        assert restored.d_threshold == pytest.approx(
+            tiny_instance.d_threshold
+        )
+        assert restored.n == tiny_instance.n
+
+    def test_solvable_after_roundtrip(self, tiny_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(tiny_instance, path)
+        restored = load_instance(path)
+        original = SandwichApproximation(tiny_instance).solve()
+        reloaded = SandwichApproximation(restored).solve()
+        assert reloaded.sigma == original.sigma
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        dump_json({"format": "something-else"}, path)
+        with pytest.raises(ValidationError, match="not a repro-instance"):
+            load_instance(path)
+
+    def test_wrong_version_rejected(self, tiny_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(tiny_instance, path)
+        data = load_json(path)
+        data["version"] = 99
+        dump_json(data, path)
+        with pytest.raises(ValidationError, match="version"):
+            load_instance(path)
+
+
+class TestPlacementRoundTrip:
+    def test_roundtrip(self, tiny_instance, tmp_path):
+        result = SandwichApproximation(tiny_instance).solve()
+        path = tmp_path / "placement.json"
+        save_placement(result, path)
+        restored = load_placement(path)
+        assert restored.algorithm == result.algorithm
+        assert restored.sigma == result.sigma
+        assert [tuple(e) for e in restored.edges] == [
+            tuple(e) for e in result.edges
+        ]
+        assert restored.satisfied == result.satisfied
+
+    def test_unserializable_extras_marked(self, tmp_path):
+        from repro.types import PlacementResult
+
+        result = PlacementResult(
+            algorithm="x",
+            edges=[],
+            sigma=0,
+            satisfied=[],
+            extras={"fn": lambda: None, "ok": 3},
+        )
+        path = tmp_path / "placement.json"
+        save_placement(result, path)
+        restored = load_placement(path)
+        assert restored.extras["ok"] == 3
+        assert "unserializable" in restored.extras["fn"]
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        dump_json({"format": "repro-instance"}, path)
+        with pytest.raises(ValidationError, match="not a repro-placement"):
+            load_placement(path)

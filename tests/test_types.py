@@ -1,0 +1,55 @@
+"""Tests for repro.types."""
+
+from repro.types import PlacementResult, normalize_index_pair
+
+
+class TestNormalizeIndexPair:
+    def test_already_sorted(self):
+        assert normalize_index_pair(1, 2) == (1, 2)
+
+    def test_swaps(self):
+        assert normalize_index_pair(5, 3) == (3, 5)
+
+    def test_equal_indices_pass_through(self):
+        assert normalize_index_pair(4, 4) == (4, 4)
+
+
+class TestPlacementResult:
+    def make(self, **overrides):
+        defaults = dict(
+            algorithm="x",
+            edges=[(0, 1), (2, 3)],
+            sigma=2,
+            satisfied=[True, True, False],
+        )
+        defaults.update(overrides)
+        return PlacementResult(**defaults)
+
+    def test_num_edges(self):
+        assert self.make().num_edges == 2
+
+    def test_summary_mentions_counts(self):
+        text = self.make().summary()
+        assert "2/3" in text
+        assert "2 shortcut edge(s)" in text
+        assert text.startswith("x:")
+
+    def test_defaults(self):
+        result = self.make()
+        assert result.evaluations == 0
+        assert result.trace == []
+        assert result.extras == {}
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            self.make().sigma = 5
+
+    def test_independent_default_containers(self):
+        a = self.make()
+        b = self.make()
+        a.trace.append(1)
+        assert b.trace == []

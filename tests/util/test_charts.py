@@ -1,0 +1,80 @@
+"""Tests for repro.util.charts."""
+
+import math
+
+import pytest
+
+from repro.util.charts import render_chart
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        text = render_chart(
+            [1, 2, 3], [("A", [1, 2, 3])], width=20, height=5, title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len([l for l in lines if "|" in l]) == 5
+        assert any("o=A" in l for l in lines)  # legend
+
+    def test_min_max_labels(self):
+        text = render_chart([0, 10], [("A", [2, 8])], height=6)
+        assert "8" in text.splitlines()[0]
+        assert text.splitlines()[5].lstrip().startswith("2")
+
+    def test_monotone_series_marker_positions(self):
+        text = render_chart(
+            [0, 1], [("up", [0, 10])], width=10, height=5
+        )
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        # Max value lands in the top row, rightmost column.
+        assert rows[0].rstrip().endswith("o")
+        # Min value lands in the bottom row, leftmost column.
+        assert rows[-1].startswith("o")
+
+    def test_multiple_series_markers(self):
+        text = render_chart(
+            [0, 1], [("A", [0, 1]), ("B", [1, 0])]
+        )
+        assert "o=A" in text and "x=B" in text
+
+    def test_constant_series_handled(self):
+        text = render_chart([0, 1], [("flat", [5, 5])])
+        assert "flat" in text
+
+    def test_nonfinite_values_skipped(self):
+        text = render_chart([0, 1, 2], [("A", [1, math.inf, 3])])
+        assert "o=A" in text
+
+    def test_all_nonfinite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            render_chart([0, 1], [("A", [math.inf, math.nan])])
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            render_chart([], [("A", [])])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            render_chart([0, 1], [("A", [1])])
+
+
+class TestResultChartIntegration:
+    def test_render_with_charts(self):
+        from repro.experiments.results import ExperimentResult
+
+        result = ExperimentResult(name="t", title="T")
+        result.add_series("fig", "k", [1, 2, 3], [("AA", [1, 4, 9])])
+        plain = result.render()
+        charted = result.render(charts=True)
+        assert len(charted) > len(plain)
+        assert "o=AA" in charted
+
+    def test_categorical_x_skips_chart(self):
+        from repro.experiments.results import ExperimentResult
+
+        result = ExperimentResult(name="t", title="T")
+        result.add_series("fig", "kind", ["a", "b"], [("AA", [1, 2])])
+        # must not raise, chart silently skipped
+        text = result.render(charts=True)
+        assert "o=AA" not in text

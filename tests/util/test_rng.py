@@ -1,0 +1,73 @@
+"""Tests for repro.util.rng."""
+
+import random
+
+from repro.util.rng import ensure_rng, ensure_seed, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_fresh_generator(self):
+        rng = ensure_rng(None)
+        assert isinstance(rng, random.Random)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42)
+        b = ensure_rng(42)
+        assert [a.random() for _ in range(5)] == [
+            b.random() for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_existing_rng_passes_through(self):
+        rng = random.Random(7)
+        assert ensure_rng(rng) is rng
+
+    def test_tuple_seed_is_deterministic(self):
+        a = ensure_rng((1, "fig3", 0.14))
+        b = ensure_rng((1, "fig3", 0.14))
+        assert a.random() == b.random()
+
+    def test_tuple_seed_components_matter(self):
+        assert (
+            ensure_rng((1, "fig3", 0.14)).random()
+            != ensure_rng((1, "fig3", 0.18)).random()
+        )
+
+    def test_list_seed_accepted(self):
+        assert isinstance(ensure_rng([1, 2]), random.Random)
+
+    def test_string_seed(self):
+        assert ensure_rng("abc").random() == ensure_rng("abc").random()
+
+
+class TestSpawnRng:
+    def test_child_is_deterministic_given_parent_state(self):
+        a = spawn_rng(random.Random(5), "x")
+        b = spawn_rng(random.Random(5), "x")
+        assert a.random() == b.random()
+
+    def test_labels_fork_differently(self):
+        parent1 = random.Random(5)
+        parent2 = random.Random(5)
+        assert (
+            spawn_rng(parent1, "x").random()
+            != spawn_rng(parent2, "y").random()
+        )
+
+    def test_child_independent_of_parent_consumption(self):
+        parent = random.Random(5)
+        child = spawn_rng(parent, "x")
+        before = child.random()
+        parent.random()  # consuming the parent does not rewind the child
+        child2 = spawn_rng(random.Random(5), "x")
+        assert child2.random() == before
+
+
+class TestEnsureSeed:
+    def test_passthrough(self):
+        assert ensure_seed(3, fallback=9) == 3
+
+    def test_fallback_on_none(self):
+        assert ensure_seed(None, fallback=9) == 9

@@ -1,0 +1,46 @@
+"""Tests for repro.util.serialization."""
+
+import dataclasses
+
+import pytest
+
+from repro.util.serialization import dump_json, load_json
+
+
+class TestRoundTrip:
+    def test_basic_roundtrip(self, tmp_path):
+        data = {"a": 1, "b": [1, 2.5, "x"], "c": {"nested": True}}
+        path = tmp_path / "out.json"
+        dump_json(data, path)
+        assert load_json(path) == data
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "out.json"
+        dump_json({"x": 1}, path)
+        assert load_json(path) == {"x": 1}
+
+    def test_sets_serialized_sorted(self, tmp_path):
+        path = tmp_path / "out.json"
+        dump_json({"s": {3, 1, 2}}, path)
+        assert load_json(path) == {"s": [1, 2, 3]}
+
+    def test_dataclass_serialized_as_dict(self, tmp_path):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: int
+
+        path = tmp_path / "out.json"
+        dump_json({"p": Point(1, 2)}, path)
+        assert load_json(path) == {"p": {"x": 1, "y": 2}}
+
+    def test_unserializable_raises(self, tmp_path):
+        with pytest.raises(TypeError):
+            dump_json({"f": object()}, tmp_path / "out.json")
+
+    def test_output_is_sorted_and_newline_terminated(self, tmp_path):
+        path = tmp_path / "out.json"
+        dump_json({"b": 1, "a": 2}, path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')

@@ -1,0 +1,60 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_cell, render_series, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(0.123456, precision=3) == "0.123"
+
+    def test_int_passthrough(self):
+        assert format_cell(7) == "7"
+
+    def test_bool_not_formatted_as_float(self):
+        assert format_cell(True) == "True"
+
+    def test_string(self):
+        assert format_cell("x") == "x"
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["k", "ratio"], [[2, 0.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("k ")
+        assert set(lines[1]) <= {"-", "+"}
+        assert "0.5000" in lines[2]
+        assert lines[3].startswith("10")
+
+    def test_title(self):
+        assert render_table(["a"], [[1]], title="T").splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert text.splitlines()[0] == "a"
+
+    def test_wide_cell_grows_separator(self):
+        text = render_table(["a"], [["longvalue"]])
+        separator = text.splitlines()[1]
+        assert len(separator) >= len("longvalue")
+
+
+class TestRenderSeries:
+    def test_columns_per_series(self):
+        text = render_series(
+            "k", [2, 4], [("AA", [5, 9]), ("EA", [3, 4])], title="fig"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "fig"
+        assert "AA" in lines[1] and "EA" in lines[1]
+        assert lines[3].startswith("2")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="series"):
+            render_series("k", [1, 2], [("AA", [1])])

@@ -1,0 +1,105 @@
+"""Tests for repro.util.unionfind."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.component_count() == 3
+        assert not uf.connected(1, 2)
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert uf.component_count() == 1
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.connected(1, 3)
+
+    def test_lazy_registration(self):
+        uf = UnionFind()
+        assert uf.find("a") == "a"
+        assert "a" in uf
+
+    def test_len_counts_elements(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert len(uf) == 4
+        assert uf.component_count() == 2
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        root = uf.find(1)
+        assert uf.union(1, 2) == root
+        assert uf.component_count() == 1
+
+    def test_components_partition(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        comps = sorted(sorted(c) for c in uf.components())
+        assert comps == [[0, 1], [2, 3], [4], [5]]
+
+    def test_hashable_elements(self):
+        uf = UnionFind()
+        uf.union(("a", 1), ("b", 2))
+        assert uf.connected(("a", 1), ("b", 2))
+
+    def test_iter_yields_registered(self):
+        uf = UnionFind([1, 2])
+        assert sorted(uf) == [1, 2]
+
+
+class TestAgainstReference:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_partition(self, unions):
+        """Union-find connectivity must match a naive set-merging model."""
+        uf = UnionFind()
+        naive = {}  # element -> frozenset id via mutable sets
+
+        def naive_find(x):
+            naive.setdefault(x, {x})
+            return naive[x]
+
+        for a, b in unions:
+            uf.union(a, b)
+            sa, sb = naive_find(a), naive_find(b)
+            if sa is not sb:
+                merged = sa | sb
+                for e in merged:
+                    naive[e] = merged
+        for a in naive:
+            for b in naive:
+                assert uf.connected(a, b) == (naive[a] is naive[b])
+
+    @given(st.integers(2, 30), st.integers(0, 60), st.integers())
+    @settings(max_examples=40, deadline=None)
+    def test_component_count_invariant(self, n, n_unions, seed):
+        """#components = #elements - #merging unions."""
+        rng = random.Random(seed)
+        uf = UnionFind(range(n))
+        merges = 0
+        for _ in range(n_unions):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if not uf.connected(a, b):
+                merges += 1
+            uf.union(a, b)
+        assert uf.component_count() == n - merges

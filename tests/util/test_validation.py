@@ -1,0 +1,95 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.util.validation import (
+    check_fraction,
+    check_nonnegative,
+    check_nonnegative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 0, 1])
+    def test_valid(self, value):
+        assert check_probability(value) == float(value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, math.nan])
+    def test_out_of_range(self, value):
+        with pytest.raises(ValidationError):
+            check_probability(value)
+
+    @pytest.mark.parametrize("value", ["0.5", None, True, [0.5]])
+    def test_wrong_type(self, value):
+        with pytest.raises(ValidationError):
+            check_probability(value)
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValidationError, match="p_t"):
+            check_probability(2.0, "p_t")
+
+
+class TestCheckFraction:
+    def test_one_rejected(self):
+        """Fractions are [0, 1): a failure probability of exactly 1 has an
+        infinite edge length."""
+        with pytest.raises(ValidationError):
+            check_fraction(1.0)
+
+    def test_zero_accepted(self):
+        assert check_fraction(0) == 0.0
+
+    def test_just_below_one(self):
+        assert check_fraction(0.999999) == 0.999999
+
+
+class TestCheckNonnegative:
+    def test_zero_ok(self):
+        assert check_nonnegative(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative(-1e-12)
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative(math.inf)
+
+
+class TestCheckPositive:
+    def test_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive(0.0)
+
+    def test_positive_ok(self):
+        assert check_positive(0.1) == 0.1
+
+
+class TestCheckPositiveInt:
+    def test_valid(self):
+        assert check_positive_int(3) == 3
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_nonpositive_rejected(self, value):
+        with pytest.raises(ValidationError):
+            check_positive_int(value)
+
+    @pytest.mark.parametrize("value", [1.0, "1", True])
+    def test_wrong_type_rejected(self, value):
+        with pytest.raises(ValidationError):
+            check_positive_int(value)
+
+
+class TestCheckNonnegativeInt:
+    def test_zero_ok(self):
+        assert check_nonnegative_int(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative_int(-1)

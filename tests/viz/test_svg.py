@@ -1,0 +1,85 @@
+"""Tests for repro.viz.svg."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.problem import MSCInstance
+from repro.exceptions import ValidationError
+from repro.viz.svg import render_placement_svg, save_placement_svg
+from tests.conftest import path_graph
+
+
+@pytest.fixture
+def setup():
+    graph = path_graph([1.0] * 4)
+    instance = MSCInstance(
+        graph, [(0, 4), (1, 4)], k=2, d_threshold=1.5
+    )
+    positions = {i: (float(i), float(i % 2)) for i in range(5)}
+    return instance, positions
+
+
+class TestRenderPlacementSvg:
+    def test_valid_xml(self, setup):
+        instance, positions = setup
+        svg = render_placement_svg(instance, positions, [(0, 4)])
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_element_counts(self, setup):
+        instance, positions = setup
+        svg = render_placement_svg(instance, positions, [(0, 4)])
+        # 4 wireless links + 2 pair demand lines + 1 shortcut = 7 lines
+        assert svg.count("<line") == 7
+        assert svg.count("<circle") == 5
+
+    def test_satisfied_coloring(self, setup):
+        instance, positions = setup
+        with_shortcut = render_placement_svg(
+            instance, positions, [(0, 4)]
+        )
+        without = render_placement_svg(instance, positions, [])
+        assert "#2a9d4e" in with_shortcut   # satisfied green
+        assert "#2a9d4e" not in without     # all violated
+        assert "#d1495b" in without
+
+    def test_explicit_satisfied_flags(self, setup):
+        instance, positions = setup
+        svg = render_placement_svg(
+            instance, positions, [], satisfied=[True, True]
+        )
+        assert "#d1495b" not in svg
+
+    def test_flag_count_validated(self, setup):
+        instance, positions = setup
+        with pytest.raises(ValidationError, match="flags"):
+            render_placement_svg(
+                instance, positions, [], satisfied=[True]
+            )
+
+    def test_missing_positions_rejected(self, setup):
+        instance, _ = setup
+        with pytest.raises(ValidationError, match="positions"):
+            render_placement_svg(instance, {0: (0, 0)}, [])
+
+    def test_title_escaped(self, setup):
+        instance, positions = setup
+        svg = render_placement_svg(
+            instance, positions, [], title="<k & p>"
+        )
+        assert "&lt;k &amp; p&gt;" in svg
+
+    def test_degenerate_layout_no_crash(self):
+        graph = path_graph([1.0])
+        instance = MSCInstance(graph, [(0, 1)], k=1, d_threshold=0.5)
+        positions = {0: (1.0, 1.0), 1: (1.0, 1.0)}  # identical points
+        svg = render_placement_svg(instance, positions, [])
+        ET.fromstring(svg)
+
+    def test_save_creates_file(self, setup, tmp_path):
+        instance, positions = setup
+        target = tmp_path / "figs" / "placement.svg"
+        save_placement_svg(instance, positions, [(0, 4)], target)
+        assert target.exists()
+        ET.fromstring(target.read_text())
