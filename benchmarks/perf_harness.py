@@ -1,0 +1,178 @@
+"""Wall-clock performance harness — writes ``BENCH_perf.json``.
+
+Measures the three performance claims of the incremental-engine /
+pruned-scan / parallel-runner work:
+
+1. **Greedy path** (the fig1 Approximation-Algorithm path: σ-greedy inside
+   the sandwich): the incremental engine + pruned candidate scan against
+   the legacy configuration (``pruned=False, engine_cache_size=0``, i.e.
+   dense per-pair masks and a from-scratch engine per evaluation), on the
+   fig1 RG-workload family at the quick size (n=40) and scaled sizes where
+   compute, not numpy call overhead, dominates. Placements are asserted
+   identical before timing.
+2. **Per-experiment wall-clock** of every quick-scale experiment.
+3. **``run_all`` scaling**: a balanced (experiment × seed) task grid run
+   serially and with ``--jobs``-style fan-out, with byte-identity of the
+   results verified. Speedup requires actual cores — ``cpu_count`` is
+   recorded so a 1-core container's numbers are interpretable.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py \
+        [--jobs 4] [--output BENCH_perf.json] [--skip-scaling]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from datetime import datetime, timezone
+
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.greedy import greedy_placement
+from repro.experiments.parallel import fanout
+from repro.experiments.runner import (
+    _timed_experiment_task,
+    experiment_names,
+    run_all_timed,
+)
+from repro.experiments.workloads import rg_workload
+
+#: (n, m, k) points of the fig1-style greedy-path benchmark. The first is
+#: the quick-scale fig1 configuration itself; the larger sizes are the same
+#: workload family scaled until kernel work dominates per-call overhead.
+GREEDY_SIZES = [(40, 8, 2), (100, 30, 3), (200, 60, 4), (300, 80, 5)]
+FIG1_QUICK_P = 0.08
+
+
+def _greedy_instance(n: int, m: int, k: int):
+    workload = rg_workload(seed=1, n=n)
+    return workload.instance(FIG1_QUICK_P, m=m, k=k, seed=(1, "bench"))
+
+
+def _time_greedy(evaluator, k: int, repeats: int):
+    best = float("inf")
+    placement = None
+    for _ in range(repeats):
+        evaluator.engine_cache = type(evaluator.engine_cache)(
+            evaluator.instance.oracle,
+            evaluator.engine_cache._maxsize,
+        )
+        start = time.perf_counter()
+        placement = greedy_placement(evaluator, k)
+        best = min(best, time.perf_counter() - start)
+    return best, placement
+
+
+def bench_greedy_path() -> dict:
+    sizes = []
+    for n, m, k in GREEDY_SIZES:
+        instance = _greedy_instance(n, m, k)
+        repeats = 5 if n <= 100 else 3
+        fast = SigmaEvaluator(instance)
+        legacy = SigmaEvaluator(instance, pruned=False, engine_cache_size=0)
+        fast_s, fast_placement = _time_greedy(fast, k, repeats)
+        legacy_s, legacy_placement = _time_greedy(legacy, k, repeats)
+        assert fast_placement == legacy_placement, (
+            f"fast/legacy greedy disagree at n={n}"
+        )
+        sizes.append(
+            {
+                "n": n,
+                "m": m,
+                "k": k,
+                "legacy_s": round(legacy_s, 6),
+                "fast_s": round(fast_s, 6),
+                "speedup": round(legacy_s / fast_s, 3),
+            }
+        )
+    headline = sizes[-1]
+    return {
+        "description": (
+            "fig1 AA greedy path (sigma-greedy), incremental engine + "
+            "pruned scan vs legacy dense scan with from-scratch engines; "
+            "identical placements verified. Headline speedup is the "
+            "largest size, where kernel work dominates call overhead."
+        ),
+        "sizes": sizes,
+        "quick_n": sizes[0]["n"],
+        "quick_speedup": sizes[0]["speedup"],
+        "n": headline["n"],
+        "speedup": headline["speedup"],
+    }
+
+
+def bench_quick_experiments() -> dict:
+    timed = run_all_timed(scale="quick", seed=1)
+    return {
+        result.name: round(elapsed, 4) for result, elapsed in timed
+    }
+
+
+def bench_run_all_scaling(jobs: int) -> dict:
+    names = experiment_names()
+    tasks = [
+        (name, "quick", seed) for seed in (1, 2, 3, 4) for name in names
+    ]
+    start = time.perf_counter()
+    serial = fanout(_timed_experiment_task, tasks, jobs=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = fanout(_timed_experiment_task, tasks, jobs=jobs)
+    parallel_s = time.perf_counter() - start
+    identical = json.dumps(
+        [r.to_json() for r, _ in serial], sort_keys=True
+    ) == json.dumps([r.to_json() for r, _ in parallel], sort_keys=True)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    return {
+        "description": (
+            "run_all-style fan-out over a balanced (experiment x seed) "
+            "grid; byte_identical compares serial vs parallel JSON. "
+            "Wall-clock speedup requires real cores (see cpu_count)."
+        ),
+        "jobs": jobs,
+        "tasks": len(tasks),
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(speedup, 3),
+        "efficiency": round(speedup / jobs, 3),
+        "byte_identical": identical,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--output", default="BENCH_perf.json")
+    parser.add_argument(
+        "--skip-scaling",
+        action="store_true",
+        help="skip the run_all scaling grid (the slowest section)",
+    )
+    args = parser.parse_args()
+
+    report = {
+        "generated": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "fig1_greedy_path": bench_greedy_path(),
+        "quick_experiments_s": bench_quick_experiments(),
+    }
+    if not args.skip_scaling:
+        report["run_all_scaling"] = bench_run_all_scaling(args.jobs)
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run each experiment this many times (seed, seed+1, ...) and "
         "report mean +/- std",
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan experiments (and their inner sweeps/trials) out across "
+        "this many worker processes; results are byte-identical to a "
+        "serial run",
+    )
 
     sub.add_parser(
         "describe", help="print the generated workloads' summary statistics"
@@ -104,34 +112,66 @@ def _cmd_run(args: argparse.Namespace) -> int:
     names: List[str] = args.experiments
     if len(names) == 1 and names[0].lower() == "all":
         names = experiment_names()
+    jobs = args.jobs
     results = []
-    for name in names:
-        start = time.perf_counter()
-        if args.seeds > 1:
-            from repro.exceptions import ValidationError
-            from repro.experiments.stats import run_with_seeds
+    if args.seeds == 1 and jobs > 1 and len(names) > 1:
+        # Fan whole experiments out; each carries its own wall-clock so the
+        # summary can report the speedup over an equivalent serial run.
+        from repro.experiments.runner import run_all_timed
 
-            try:
-                result = run_with_seeds(
-                    name,
-                    seeds=range(args.seed, args.seed + args.seeds),
-                    scale=args.scale,
-                )
-            except ValidationError as exc:
-                print(
-                    f"[{name}: not aggregatable across seeds ({exc}); "
-                    "falling back to a single run]"
-                )
-                result = run_experiment(
-                    name, scale=args.scale, seed=args.seed
-                )
-        else:
-            result = run_experiment(name, scale=args.scale, seed=args.seed)
-        elapsed = time.perf_counter() - start
-        print(result.render(precision=args.precision, charts=args.charts))
-        print(f"[{name} finished in {elapsed:.1f}s]")
+        wall_start = time.perf_counter()
+        timed = run_all_timed(
+            scale=args.scale, seed=args.seed, names=names, jobs=jobs
+        )
+        wall = time.perf_counter() - wall_start
+        for result, elapsed in timed:
+            print(
+                result.render(precision=args.precision, charts=args.charts)
+            )
+            print(f"[{result.name} finished in {elapsed:.1f}s]")
+            print()
+            results.append(result.to_json())
+        serial_equivalent = sum(elapsed for _, elapsed in timed)
+        speedup = serial_equivalent / wall if wall > 0 else float("inf")
+        print(
+            f"[{len(timed)} experiments in {wall:.1f}s wall with "
+            f"--jobs {jobs}; serial-equivalent {serial_equivalent:.1f}s; "
+            f"speedup {speedup:.1f}x]"
+        )
         print()
-        results.append(result.to_json())
+    else:
+        for name in names:
+            start = time.perf_counter()
+            if args.seeds > 1:
+                from repro.exceptions import ValidationError
+                from repro.experiments.stats import run_with_seeds
+
+                try:
+                    result = run_with_seeds(
+                        name,
+                        seeds=range(args.seed, args.seed + args.seeds),
+                        scale=args.scale,
+                        jobs=jobs,
+                    )
+                except ValidationError as exc:
+                    print(
+                        f"[{name}: not aggregatable across seeds ({exc}); "
+                        "falling back to a single run]"
+                    )
+                    result = run_experiment(
+                        name, scale=args.scale, seed=args.seed, jobs=jobs
+                    )
+            else:
+                result = run_experiment(
+                    name, scale=args.scale, seed=args.seed, jobs=jobs
+                )
+            elapsed = time.perf_counter() - start
+            print(
+                result.render(precision=args.precision, charts=args.charts)
+            )
+            print(f"[{name} finished in {elapsed:.1f}s]")
+            print()
+            results.append(result.to_json())
     if args.json:
         dump_json(results, args.json)
         print(f"wrote {args.json}")

@@ -1,25 +1,188 @@
 """The σ objective: number of important social pairs maintained by F.
 
 :class:`SigmaEvaluator` is the exact objective of the MSC problem. A point
-evaluation builds a :class:`~repro.graph.shortcuts.ShortcutDistanceEngine`
-for the shortcut set and checks each pair's augmented distance against the
-requirement. The one-step lookahead (:meth:`SigmaEvaluator.add_candidates`)
-scores all ``O(n²)`` candidate edges simultaneously with numpy broadcasting:
-for an unsatisfied pair ``(u, w)``, the candidate ``(a, b)`` satisfies it iff
-``min(d_F(u,a) + d_F(b,w), d_F(u,b) + d_F(a,w)) <= d_t`` — note the distances
-here are already *augmented* by the current set F, so the lookahead is exact,
-not a bound.
+evaluation checks each pair's augmented distance against the requirement
+using a :class:`~repro.graph.shortcuts.ShortcutDistanceEngine` for the
+shortcut set; engines are memoized in a small LRU keyed by the set, and a
+miss whose parent set ``F \\ {e}`` is cached derives the ``F`` engine
+incrementally (:meth:`ShortcutDistanceEngine.extended_by_index`) instead of
+rebuilding from the APSP matrix — the pattern every solver's hot loop
+follows (greedy rounds grow F one edge at a time; EA/AEA offspring differ
+from a pooled parent by one edge).
+
+The one-step lookahead (:meth:`SigmaEvaluator.add_candidates`) scores all
+``O(n²)`` candidate edges simultaneously: for an unsatisfied pair
+``(u, w)``, the candidate ``(a, b)`` satisfies it iff
+``min(d_F(u,a) + d_F(b,w), d_F(u,b) + d_F(a,w)) <= d_t`` — note the
+distances here are already *augmented* by the current set F, so the
+lookahead is exact, not a bound. Since distances are nonnegative, only
+candidates whose endpoints are each within ``d_t`` of a pair endpoint can
+satisfy the pair, so the scan restricts each pair's mask to those rows and
+columns and scatter-adds the reduced block instead of allocating a full
+``(n, n)`` mask per pair (chunked to bound peak memory).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.problem import MSCInstance
+from repro.graph.distances import DistanceOracle
 from repro.graph.shortcuts import ShortcutDistanceEngine
-from repro.types import IndexPair
+from repro.types import IndexPair, normalize_index_pair
+
+#: Peak per-pair temporary size (elements) for the chunked candidate scan.
+DEFAULT_CHUNK_ELEMENTS = 1 << 22
+
+#: Below this node count the dense per-pair mask is used even when pruning
+#: is enabled: an (n, n) boolean mask this small lives in cache and beats
+#: the pruned path's extra per-pair index bookkeeping.
+PRUNED_SCAN_MIN_N = 96
+
+
+class EngineCache:
+    """Small LRU of :class:`ShortcutDistanceEngine` keyed by shortcut set.
+
+    A lookup that misses but finds an engine for a one-edge-smaller subset
+    derives the requested engine incrementally via
+    :meth:`ShortcutDistanceEngine.extended_by_index` instead of rebuilding
+    the supernode tables from the APSP matrix. ``maxsize=0`` disables
+    caching entirely (every lookup rebuilds from scratch — the legacy
+    behavior, kept for benchmarking).
+    """
+
+    def __init__(self, oracle: DistanceOracle, maxsize: int = 128) -> None:
+        self._oracle = oracle
+        self._maxsize = int(maxsize)
+        self._store: "OrderedDict[frozenset, ShortcutDistanceEngine]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.extensions = 0
+        self.builds = 0
+
+    def get(self, edges: Iterable[IndexPair]) -> ShortcutDistanceEngine:
+        key = frozenset(normalize_index_pair(a, b) for a, b in edges)
+        if self._maxsize <= 0:
+            self.builds += 1
+            return ShortcutDistanceEngine.from_index_pairs(
+                self._oracle, sorted(key)
+            )
+        engine = self._store.get(key)
+        if engine is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return engine
+        for edge in key:
+            parent = self._store.get(key - {edge})
+            if parent is not None:
+                engine = parent.extended_by_index(*edge)
+                self.extensions += 1
+                break
+        if engine is None:
+            engine = ShortcutDistanceEngine.from_index_pairs(
+                self._oracle, sorted(key)
+            )
+            self.builds += 1
+        self._store[key] = engine
+        while len(self._store) > self._maxsize:
+            self._store.popitem(last=False)
+        return engine
+
+
+class PairScanAccumulator:
+    """Index-based scatter-add accumulator for the pruned candidate scan.
+
+    Per-pair candidate masks arrive as flat cell indices
+    (:meth:`add_pair`); they are buffered and folded into the dense
+    ``(n, n)`` accumulator with one :func:`numpy.bincount` per flush —
+    orders of magnitude cheaper than fancy-indexed ``+=`` per pair.
+    Buffered indices are flushed once they exceed *chunk_elements*, so peak
+    memory stays bounded regardless of how many pairs contribute.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        weighted: bool = False,
+        chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    ) -> None:
+        self._n = n
+        self._chunk_elements = max(int(chunk_elements), 1)
+        self.acc = np.zeros(
+            (n, n), dtype=np.float64 if weighted else np.int32
+        )
+        self._flat: List[np.ndarray] = []
+        self._weights: Optional[List[np.ndarray]] = [] if weighted else None
+        self._pending = 0
+
+    def add_pair(
+        self,
+        du: np.ndarray,
+        dw: np.ndarray,
+        limit: float,
+        weight: Optional[float] = None,
+    ) -> None:
+        """Accumulate one pair's candidate-satisfaction mask.
+
+        Candidate ``(a, b)`` satisfies the pair iff
+        ``du[a] + dw[b] <= limit`` or ``du[b] + dw[a] <= limit``. Distances
+        are nonnegative, so every satisfying index has ``du <= limit`` or
+        ``dw <= limit`` — the mask is computed only over that reduced index
+        set, in row chunks whose temporaries stay under the chunk budget.
+        The accumulated counts match the dense ``mask | mask.T`` form (the
+        historical ``mask + mask.T - (mask & mask.T)``) cell for cell.
+        """
+        near = np.flatnonzero((du <= limit) | (dw <= limit))
+        if near.size == 0:
+            return
+        du_r = du[near]
+        dw_r = dw[near]
+        row_offsets = near * self._n
+        rows_per_chunk = max(1, self._chunk_elements // near.size)
+        for start in range(0, near.size, rows_per_chunk):
+            stop = min(start + rows_per_chunk, near.size)
+            block = (du_r[start:stop, None] + dw_r[None, :]) <= limit
+            block |= (dw_r[start:stop, None] + du_r[None, :]) <= limit
+            flat = (row_offsets[start:stop, None] + near[None, :])[block]
+            if flat.size == 0:
+                continue
+            self._flat.append(flat)
+            if self._weights is not None:
+                self._weights.append(
+                    np.full(flat.size, 0.0 if weight is None else weight)
+                )
+            self._pending += flat.size
+            if self._pending >= self._chunk_elements:
+                self.flush()
+
+    def flush(self) -> None:
+        """Fold the buffered indices into the dense accumulator."""
+        if not self._flat:
+            return
+        flat = np.concatenate(self._flat)
+        if self._weights is None:
+            counts = np.bincount(flat, minlength=self._n * self._n)
+        else:
+            counts = np.bincount(
+                flat,
+                weights=np.concatenate(self._weights),
+                minlength=self._n * self._n,
+            )
+            self._weights.clear()
+        self.acc += counts.reshape(self._n, self._n).astype(
+            self.acc.dtype, copy=False
+        )
+        self._flat.clear()
+        self._pending = 0
+
+    def result(self) -> np.ndarray:
+        self.flush()
+        return self.acc
 
 
 class SigmaEvaluator:
@@ -27,14 +190,36 @@ class SigmaEvaluator:
 
     The evaluator never mutates the instance; shortcut sets are passed per
     call as sequences of canonical index pairs.
+
+    Args:
+        instance: the MSC instance.
+        pruned: use the pruned, chunked candidate scan (default; takes
+            effect from :data:`PRUNED_SCAN_MIN_N` nodes up — below that the
+            dense mask is faster and equally exact). ``False`` always uses
+            the dense per-pair ``(n, n)`` masks — identical results, kept
+            for benchmarking the fast path against.
+        engine_cache_size: LRU capacity of the shortcut-engine memo; ``0``
+            disables engine reuse (every evaluation rebuilds from the APSP
+            matrix).
+        chunk_elements: peak per-pair temporary size for the pruned scan.
     """
 
-    def __init__(self, instance: MSCInstance) -> None:
+    def __init__(
+        self,
+        instance: MSCInstance,
+        *,
+        pruned: bool = True,
+        engine_cache_size: int = 128,
+        chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    ) -> None:
         self.instance = instance
         self.threshold = instance.d_threshold
         # Tolerance so pairs exactly on the requirement count as satisfied
         # despite float rounding.
         self.tolerance = 1e-12 + 1e-9 * self.threshold
+        self.pruned = bool(pruned)
+        self.chunk_elements = int(chunk_elements)
+        self.engine_cache = EngineCache(instance.oracle, engine_cache_size)
         self._pairs = instance.pair_indices
         base = instance.oracle.matrix
         self.base_satisfied: List[bool] = [
@@ -42,6 +227,29 @@ class SigmaEvaluator:
             for iu, iw in self._pairs
         ]
         self.base_sigma = sum(self.base_satisfied)
+        # Fixed index plumbing for the vectorized paths: the distinct pair
+        # endpoints (query sources) and, per pair, the rows of its two
+        # endpoints in the batched query result.
+        self._sources = sorted({i for pair in self._pairs for i in pair})
+        self._row_of: Dict[int, int] = {
+            s: i for i, s in enumerate(self._sources)
+        }
+        self._pair_u_rows = np.array(
+            [self._row_of[iu] for iu, _ in self._pairs], dtype=np.intp
+        )
+        self._pair_w_rows = np.array(
+            [self._row_of[iw] for _, iw in self._pairs], dtype=np.intp
+        )
+        self._pair_w_cols = np.array(
+            [iw for _, iw in self._pairs], dtype=np.intp
+        )
+        # satisfied() only queries from first endpoints; keep the smaller
+        # source set for it.
+        self._u_sources = sorted({iu for iu, _ in self._pairs})
+        u_row_of = {s: i for i, s in enumerate(self._u_sources)}
+        self._pair_u_only_rows = np.array(
+            [u_row_of[iu] for iu, _ in self._pairs], dtype=np.intp
+        )
 
     @property
     def n(self) -> int:
@@ -58,9 +266,12 @@ class SigmaEvaluator:
     # ------------------------------------------------------------ evaluation
 
     def _engine(self, edges: Sequence[IndexPair]) -> ShortcutDistanceEngine:
-        return ShortcutDistanceEngine.from_index_pairs(
-            self.instance.oracle, edges
-        )
+        return self.engine_cache.get(edges)
+
+    def _use_pruned_scan(self) -> bool:
+        """Whether the scatter-add scan should replace dense masks: both
+        paths are exact, so this is purely a size cutover."""
+        return self.pruned and self.n >= PRUNED_SCAN_MIN_N
 
     def satisfied(self, edges: Sequence[IndexPair]) -> List[bool]:
         """Per-pair satisfaction flags under shortcut set *edges*."""
@@ -68,12 +279,9 @@ class SigmaEvaluator:
             return list(self.base_satisfied)
         engine = self._engine(edges)
         limit = self.threshold + self.tolerance
-        sources = sorted({iu for iu, _ in self._pairs})
-        rows = engine.distances_from_indices(sources)
-        row_of = {s: i for i, s in enumerate(sources)}
-        return [
-            bool(rows[row_of[iu], iw] <= limit) for iu, iw in self._pairs
-        ]
+        rows = engine.distances_from_indices(self._u_sources)
+        distances = rows[self._pair_u_only_rows, self._pair_w_cols]
+        return (distances <= limit).tolist()
 
     def value(self, edges: Sequence[IndexPair]) -> int:
         """σ(F): the number of maintained social pairs."""
@@ -87,26 +295,34 @@ class SigmaEvaluator:
         n = self.n
         engine = self._engine(edges)
         limit = self.threshold + self.tolerance
-        sources = sorted({i for pair in self._pairs for i in pair})
-        batched = engine.distances_from_indices(sources)
-        row_of = {s: i for i, s in enumerate(sources)}
+        batched = engine.distances_from_indices(self._sources)
+        pair_distances = batched[self._pair_u_rows, self._pair_w_cols]
+        satisfied_mask = pair_distances <= limit
+        satisfied_now = int(satisfied_mask.sum())
 
-        satisfied_now = 0
-        acc = np.zeros((n, n), dtype=np.int32)
-        for iu, iw in self._pairs:
-            du = batched[row_of[iu]]
-            if du[iw] <= limit:
-                satisfied_now += 1
-                continue
-            dw = batched[row_of[iw]]
-            mask = (du[:, None] + dw[None, :]) <= limit
-            acc += mask
-            acc += mask.T
-            # A pair cannot be double-counted: if both orientations of a
-            # candidate satisfy it, mask and mask.T overlap only where
-            # du[a]+dw[b] and du[b]+dw[a] are both within the limit, and the
-            # pair is still satisfied just once.  Correct for that overlap.
-            acc -= mask & mask.T
+        if self._use_pruned_scan():
+            scan = PairScanAccumulator(
+                n, chunk_elements=self.chunk_elements
+            )
+            for p in np.flatnonzero(~satisfied_mask):
+                scan.add_pair(
+                    batched[self._pair_u_rows[p]],
+                    batched[self._pair_w_rows[p]],
+                    limit,
+                )
+            acc = scan.result()
+        else:
+            acc = np.zeros((n, n), dtype=np.int32)
+            for p in np.flatnonzero(~satisfied_mask):
+                du = batched[self._pair_u_rows[p]]
+                dw = batched[self._pair_w_rows[p]]
+                mask = (du[:, None] + dw[None, :]) <= limit
+                acc += mask
+                acc += mask.T
+                # A pair cannot be double-counted: where both orientations
+                # of a candidate satisfy it, the pair is still satisfied
+                # just once. Correct for the overlap.
+                acc -= mask & mask.T
         acc += satisfied_now
         np.fill_diagonal(acc, satisfied_now)
         return acc

@@ -23,6 +23,8 @@ import heapq
 import itertools
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.core.greedy import GAIN_EPSILON
 from repro.exceptions import SolverError
 from repro.types import IndexPair, normalize_index_pair
@@ -78,10 +80,22 @@ def lazy_greedy_placement(
     counter = itertools.count()
     # Heap of (-stale_gain, tiebreak, edge, round_evaluated).
     heap: List[Tuple[float, int, IndexPair, int]] = []
-    for edge in candidates:
-        gain = float(fn.value([edge])) - current
+    scan = getattr(fn, "add_candidates", None)
+    if scan is not None:
+        # Seed every candidate's round-0 bound from one vectorized scan
+        # instead of O(n²) point evaluations. Round-0 entries are always
+        # re-evaluated before selection, so a seeding bound that differs
+        # from the point value by float noise cannot change correctness.
+        scores = np.asarray(scan(placed), dtype=float)
         evaluations += 1
-        heapq.heappush(heap, (-gain, next(counter), edge, 0))
+        for edge in candidates:
+            gain = float(scores[edge[0], edge[1]]) - current
+            heapq.heappush(heap, (-gain, next(counter), edge, 0))
+    else:
+        for edge in candidates:
+            gain = float(fn.value([edge])) - current
+            evaluations += 1
+            heapq.heappush(heap, (-gain, next(counter), edge, 0))
 
     for round_number in range(1, k + 1):
         best: Optional[Tuple[float, IndexPair]] = None

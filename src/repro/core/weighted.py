@@ -25,7 +25,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.core.bounds import MuFunction, NuFunction
-from repro.core.evaluator import SigmaEvaluator
+from repro.core.evaluator import PairScanAccumulator, SigmaEvaluator
 from repro.core.problem import MSCInstance
 from repro.exceptions import InstanceError
 from repro.types import IndexPair
@@ -70,27 +70,45 @@ class WeightedSigmaEvaluator:
 
     def add_candidates(self, edges: Sequence[IndexPair]) -> np.ndarray:
         """Weighted one-step lookahead, mirroring
-        :meth:`SigmaEvaluator.add_candidates` with per-pair weights."""
-        n = self.n
-        engine = self._sigma._engine(edges)
-        limit = self._sigma.threshold + self._sigma.tolerance
-        pairs = self.instance.pair_indices
-        sources = sorted({i for pair in pairs for i in pair})
-        batched = engine.distances_from_indices(sources)
-        row_of = {s: i for i, s in enumerate(sources)}
+        :meth:`SigmaEvaluator.add_candidates` with per-pair weights.
 
-        current = 0.0
-        acc = np.zeros((n, n), dtype=float)
-        for (iu, iw), weight in zip(pairs, self.weights):
-            du = batched[row_of[iu]]
-            if du[iw] <= limit:
-                current += weight
-                continue
-            if weight == 0.0:
-                continue
-            dw = batched[row_of[iw]]
-            mask = (du[:, None] + dw[None, :]) <= limit
-            acc += (mask | mask.T) * weight
+        Shares σ's engine cache and pruned scatter-add scan, so the same
+        incremental-reuse and memory bounds apply.
+        """
+        n = self.n
+        sigma = self._sigma
+        engine = sigma._engine(edges)
+        limit = sigma.threshold + sigma.tolerance
+        batched = engine.distances_from_indices(sigma._sources)
+        pair_distances = batched[sigma._pair_u_rows, sigma._pair_w_cols]
+        satisfied_mask = pair_distances <= limit
+
+        current = float(self.weights[satisfied_mask].sum())
+        if sigma._use_pruned_scan():
+            scan = PairScanAccumulator(
+                n, weighted=True, chunk_elements=sigma.chunk_elements
+            )
+            for p in np.flatnonzero(~satisfied_mask):
+                weight = float(self.weights[p])
+                if weight == 0.0:
+                    continue
+                scan.add_pair(
+                    batched[sigma._pair_u_rows[p]],
+                    batched[sigma._pair_w_rows[p]],
+                    limit,
+                    weight=weight,
+                )
+            acc = scan.result()
+        else:
+            acc = np.zeros((n, n), dtype=float)
+            for p in np.flatnonzero(~satisfied_mask):
+                weight = float(self.weights[p])
+                if weight == 0.0:
+                    continue
+                du = batched[sigma._pair_u_rows[p]]
+                dw = batched[sigma._pair_w_rows[p]]
+                mask = (du[:, None] + dw[None, :]) <= limit
+                acc += (mask | mask.T) * weight
         acc += current
         np.fill_diagonal(acc, current)
         return acc

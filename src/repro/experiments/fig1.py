@@ -17,9 +17,12 @@ from repro.experiments.workloads import rg_workload
 from repro.util.rng import SeedLike
 
 
-def run_fig1(scale: str = "paper", seed: SeedLike = 1) -> ExperimentResult:
+def run_fig1(
+    scale: str = "paper", seed: SeedLike = 1, jobs: int = 1
+) -> ExperimentResult:
     """Regenerate Fig. 1. Expected shape: AA maintains at least as many
-    pairs as the random baseline, typically strictly more."""
+    pairs as the random baseline, typically strictly more. *jobs* fans the
+    baseline's trials across processes (byte-identical results)."""
     preset: Scale = get_scale(scale)
     workload = rg_workload(seed=seed, n=preset.fig1_n)
     instance = workload.instance(
@@ -27,7 +30,10 @@ def run_fig1(scale: str = "paper", seed: SeedLike = 1) -> ExperimentResult:
     )
     aa = SandwichApproximation(instance).solve()
     random_result = solve_random_baseline(
-        instance, seed=(seed, "fig1-random"), trials=preset.fig2_trials
+        instance,
+        seed=(seed, "fig1-random"),
+        trials=preset.fig2_trials,
+        jobs=jobs,
     )
 
     result = ExperimentResult(

@@ -6,18 +6,24 @@ RG graph at p_t=0.14 (a) and Gowalla at p_t=0.23 (b), for several k
 EA and AEA traces are taken from a single long run per (workload, k): the
 best-so-far value at each checkpoint equals the value an independent run of
 that length would report, because both algorithms only ever improve their
-best-so-far."""
+best-so-far. Each (workload, k) cell is seed-self-contained and fans out
+across processes (``jobs``) with byte-identical results."""
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.core.aea import AdaptiveEvolutionaryAlgorithm
 from repro.core.ea import EvolutionaryAlgorithm
 from repro.core.sandwich import SandwichApproximation
 from repro.experiments.config import Scale, get_scale
+from repro.experiments.parallel import fanout
 from repro.experiments.results import ExperimentResult
-from repro.experiments.workloads import Workload, gowalla_workload, rg_workload
+from repro.experiments.workloads import (
+    Workload,
+    gowalla_workload,
+    rg_workload,
+)
 from repro.util.rng import SeedLike
 
 AEA_POOL = 10
@@ -33,38 +39,70 @@ def _trace_at(trace: List[int], checkpoints: Sequence[int]) -> List[int]:
     return out
 
 
-def _sweep(
-    workload: Workload,
-    p_t: float,
-    budgets: Sequence[int],
-    m: int,
-    checkpoints: Sequence[int],
-    seed,
-) -> List[tuple]:
-    max_r = max(checkpoints)
-    series = []
-    for k in budgets:
-        instance = workload.instance(
-            p_t, m=m, k=k, seed=(seed, workload.name, p_t)
+def _workload_for(
+    kind: str, seed, preset: Scale
+) -> Tuple[Workload, float, int]:
+    """The named workload plus its fig4 threshold and pair count."""
+    if kind == "rg":
+        return (
+            rg_workload(seed=seed, n=preset.rg_n),
+            preset.fig4_rg_p,
+            preset.fig3_m_rg,
         )
-        aa_sigma = SandwichApproximation(instance).solve(k=k).sigma
-        ea = EvolutionaryAlgorithm(
-            instance, iterations=max_r, seed=(seed, "ea", k)
-        ).solve(k=k)
-        aea = AdaptiveEvolutionaryAlgorithm(
-            instance,
-            iterations=max_r,
-            pool_size=AEA_POOL,
-            delta=AEA_DELTA,
-            seed=(seed, "aea", k),
-        ).solve(k=k)
-        series.append((f"AA k={k}", [aa_sigma] * len(checkpoints)))
-        series.append((f"EA k={k}", _trace_at(ea.trace, checkpoints)))
-        series.append((f"AEA k={k}", _trace_at(aea.trace, checkpoints)))
+    return gowalla_workload(), preset.fig4_gw_p, preset.fig3_m_gw
+
+
+def _sweep_cell(task) -> Tuple[List[int], List[int], List[int]]:
+    """One (workload, k) cell: AA line plus EA/AEA checkpoint traces."""
+    scale, seed, kind, k = task
+    preset = get_scale(scale)
+    workload, p_t, m = _workload_for(kind, seed, preset)
+    checkpoints = list(preset.fig4_checkpoints)
+    max_r = max(checkpoints)
+    instance = workload.instance(
+        p_t, m=m, k=k, seed=(seed, workload.name, p_t)
+    )
+    aa_sigma = SandwichApproximation(instance).solve(k=k).sigma
+    ea = EvolutionaryAlgorithm(
+        instance, iterations=max_r, seed=(seed, "ea", k)
+    ).solve(k=k)
+    aea = AdaptiveEvolutionaryAlgorithm(
+        instance,
+        iterations=max_r,
+        pool_size=AEA_POOL,
+        delta=AEA_DELTA,
+        seed=(seed, "aea", k),
+    ).solve(k=k)
+    return (
+        [aa_sigma] * len(checkpoints),
+        _trace_at(ea.trace, checkpoints),
+        _trace_at(aea.trace, checkpoints),
+    )
+
+
+def _sweep(
+    scale: str,
+    seed,
+    kind: str,
+    budgets: Sequence[int],
+    jobs: int,
+) -> List[tuple]:
+    cells = fanout(
+        _sweep_cell,
+        [(scale, seed, kind, k) for k in budgets],
+        jobs=jobs,
+    )
+    series = []
+    for k, (aa_line, ea_line, aea_line) in zip(budgets, cells):
+        series.append((f"AA k={k}", aa_line))
+        series.append((f"EA k={k}", ea_line))
+        series.append((f"AEA k={k}", aea_line))
     return series
 
 
-def run_fig4(scale: str = "paper", seed: SeedLike = 1) -> ExperimentResult:
+def run_fig4(
+    scale: str = "paper", seed: SeedLike = 1, jobs: int = 1
+) -> ExperimentResult:
     """Regenerate Fig. 4. Expected shape: EA/AEA improve with r; AEA starts
     below AA but overtakes it at large r; EA stays below both."""
     preset: Scale = get_scale(scale)
@@ -81,24 +119,16 @@ def run_fig4(scale: str = "paper", seed: SeedLike = 1) -> ExperimentResult:
             "p_gowalla": preset.fig4_gw_p,
         },
     )
-    rg = rg_workload(seed=seed, n=preset.rg_n)
     result.add_series(
         f"(a) RG graph, p_t={preset.fig4_rg_p}, m={preset.fig3_m_rg}",
         "r",
         checkpoints,
-        _sweep(
-            rg, preset.fig4_rg_p, preset.fig4_k, preset.fig3_m_rg,
-            checkpoints, seed,
-        ),
+        _sweep(scale, seed, "rg", preset.fig4_k, jobs),
     )
-    gowalla = gowalla_workload()
     result.add_series(
         f"(b) Gowalla, p_t={preset.fig4_gw_p}, m={preset.fig3_m_gw}",
         "r",
         checkpoints,
-        _sweep(
-            gowalla, preset.fig4_gw_p, preset.fig4_k, preset.fig3_m_gw,
-            checkpoints, seed,
-        ),
+        _sweep(scale, seed, "gowalla", preset.fig4_k, jobs),
     )
     return result

@@ -1,0 +1,59 @@
+"""Deterministic process fan-out for the experiment layer.
+
+Experiments decompose into independent tasks (whole experiments in
+``run all``, per-``p_t`` sweep cells inside a figure, trial batches inside
+the random baseline). :func:`fanout` maps a module-level worker over such a
+task list, serially or across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Determinism contract
+--------------------
+
+Results are **byte-identical at any job count** because
+
+* every task carries its own seed material (derived from the experiment
+  seed, never from a shared RNG consumed in loop order),
+* the same worker function runs per task whether in-process or in a pool,
+* results are assembled in task order (``Executor.map`` preserves input
+  order), never in completion order.
+
+Workers must be module-level functions with picklable arguments —
+closures (e.g. ``ratio_grid`` factories) cannot cross process boundaries,
+so parallel workers rebuild workloads from ``(scale, seed, ...)`` tuples
+instead of capturing them.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.util.validation import check_positive_int
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Validate a ``--jobs``-style argument (must be a positive int)."""
+    return check_positive_int(jobs, "jobs")
+
+
+def fanout(
+    worker: Callable[[T], R],
+    tasks: Sequence[T],
+    jobs: int = 1,
+) -> List[R]:
+    """Map *worker* over *tasks*, optionally across worker processes.
+
+    With ``jobs <= 1`` (or fewer than two tasks) the map runs in-process;
+    otherwise a :class:`ProcessPoolExecutor` with
+    ``min(jobs, len(tasks))`` workers is used. Either way the result list
+    is in task order and each element is computed by the same call
+    ``worker(task)``, so output does not depend on the job count.
+    """
+    resolve_jobs(jobs)
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        return list(pool.map(worker, tasks))

@@ -1,8 +1,16 @@
-"""Experiment registry and top-level runner."""
+"""Experiment registry and top-level runner.
+
+``run_all`` optionally fans whole experiments out across worker processes
+(``jobs > 1``); every experiment derives all randomness from its
+``(name, scale, seed)`` task alone, so the combined output is
+byte-identical to the serial run at any job count.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import inspect
+import time
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import ValidationError
 from repro.experiments.ablations import (
@@ -21,6 +29,7 @@ from repro.experiments.generality_exp import run_generality
 from repro.experiments.msc_cn_exp import run_msc_cn
 from repro.experiments.prediction_exp import run_prediction
 from repro.experiments.replanning_exp import run_replanning
+from repro.experiments.parallel import fanout
 from repro.experiments.results import ExperimentResult
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
@@ -80,17 +89,58 @@ def get_experiment(name: str) -> Runner:
 
 
 def run_experiment(
-    name: str, scale: str = "paper", seed: SeedLike = 1
+    name: str, scale: str = "paper", seed: SeedLike = 1, jobs: int = 1
 ) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(name)(scale=scale, seed=seed)
+    """Run one experiment by id.
+
+    *jobs* is forwarded to runners that support internal fan-out (per-cell
+    sweeps, trial batches) and ignored by the rest; it never changes the
+    result, only the wall-clock.
+    """
+    runner = get_experiment(name)
+    if jobs != 1 and "jobs" in inspect.signature(runner).parameters:
+        return runner(scale=scale, seed=seed, jobs=jobs)
+    return runner(scale=scale, seed=seed)
+
+
+def _timed_experiment_task(
+    task: Tuple[str, str, SeedLike]
+) -> Tuple[ExperimentResult, float]:
+    """Worker for the ``run_all`` fan-out: one experiment, with its own
+    wall-clock (module-level so it is picklable)."""
+    name, scale, seed = task
+    start = time.perf_counter()
+    result = run_experiment(name, scale=scale, seed=seed)
+    return result, time.perf_counter() - start
+
+
+def run_all_timed(
+    scale: str = "paper",
+    seed: SeedLike = 1,
+    names: Optional[List[str]] = None,
+    jobs: int = 1,
+) -> List[Tuple[ExperimentResult, float]]:
+    """Like :func:`run_all` but each result comes with its wall-clock
+    seconds. With ``jobs > 1`` experiments run across worker processes;
+    results stay in declared order and are byte-identical to serial."""
+    selected = names if names is not None else experiment_names()
+    return fanout(
+        _timed_experiment_task,
+        [(name, scale, seed) for name in selected],
+        jobs=jobs,
+    )
 
 
 def run_all(
     scale: str = "paper",
     seed: SeedLike = 1,
     names: Optional[List[str]] = None,
+    jobs: int = 1,
 ) -> List[ExperimentResult]:
     """Run every (or the selected) experiment, in declared order."""
-    selected = names if names is not None else experiment_names()
-    return [run_experiment(name, scale=scale, seed=seed) for name in selected]
+    return [
+        result
+        for result, _ in run_all_timed(
+            scale=scale, seed=seed, names=names, jobs=jobs
+        )
+    ]

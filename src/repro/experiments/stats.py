@@ -104,14 +104,29 @@ def aggregate_results(
     return merged
 
 
+def _seed_run_task(task) -> ExperimentResult:
+    """Worker for the multi-seed fan-out (module-level, picklable)."""
+    name, scale, seed = task
+    return get_experiment(name)(scale=scale, seed=seed)
+
+
 def run_with_seeds(
     name: str,
     seeds: Sequence[int],
     scale: str = "quick",
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Run experiment *name* once per seed and aggregate."""
+    """Run experiment *name* once per seed and aggregate.
+
+    Seeds are independent tasks, so ``jobs > 1`` fans them across worker
+    processes; the aggregate is identical at any job count."""
     check_positive_int(len(seeds), "number of seeds")
-    runner = get_experiment(name)
+    from repro.experiments.parallel import fanout
+
     return aggregate_results(
-        [runner(scale=scale, seed=seed) for seed in seeds]
+        fanout(
+            _seed_run_task,
+            [(name, scale, seed) for seed in seeds],
+            jobs=jobs,
+        )
     )

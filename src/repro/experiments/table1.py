@@ -1,17 +1,47 @@
 """Table I: data-dependent approximation ratio σ(F_ν)/ν(F_ν) on the RG
-graph, across the ``p_t × k`` grid (paper §VII-B, n=100, m=17)."""
+graph, across the ``p_t × k`` grid (paper §VII-B, n=100, m=17).
+
+Grid columns (one per ``p_t``) are independent given the seed, so they fan
+out across processes; the ``ratio_grid`` instance factory is a closure and
+cannot be pickled, so each worker rebuilds the workload and its own factory
+from the ``(scale, seed, p_t)`` task."""
 
 from __future__ import annotations
 
-from repro.core.ratio import ratio_grid
+from typing import List
+
+from repro.core.ratio import RatioReport, ratio_grid
 from repro.experiments.config import Scale, get_scale
+from repro.experiments.parallel import fanout
 from repro.experiments.results import ExperimentResult
 from repro.experiments.workloads import rg_workload
 from repro.util.rng import SeedLike
 
 
+def _grid_draws(scale: str) -> int:
+    return 10 if scale == "paper" else 2
+
+
+def _grid_column(task) -> List[RatioReport]:
+    """One p_t column of Table I (module-level, picklable)."""
+    scale, seed, p_t = task
+    preset = get_scale(scale)
+    workload = rg_workload(seed=seed, n=preset.rg_n)
+    budgets = list(preset.table1_k)
+    max_k = max(budgets)
+
+    def factory(p: float, draw: int):
+        return workload.instance(
+            p, m=preset.table1_m, k=max_k, seed=(seed, p, draw)
+        )
+
+    return ratio_grid(
+        factory, [p_t], budgets, draws=_grid_draws(scale)
+    )[p_t]
+
+
 def run_table1(
-    scale: str = "paper", seed: SeedLike = 1
+    scale: str = "paper", seed: SeedLike = 1, jobs: int = 1
 ) -> ExperimentResult:
     """Regenerate Table I.
 
@@ -20,17 +50,14 @@ def run_table1(
     complex placements.
     """
     preset: Scale = get_scale(scale)
-    workload = rg_workload(seed=seed, n=preset.rg_n)
     budgets = list(preset.table1_k)
-    max_k = max(budgets)
-
-    def factory(p_t: float, draw: int):
-        return workload.instance(
-            p_t, m=preset.table1_m, k=max_k, seed=(seed, p_t, draw)
-        )
-
-    draws = 10 if scale == "paper" else 2
-    grid = ratio_grid(factory, preset.table1_p, budgets, draws=draws)
+    draws = _grid_draws(scale)
+    columns = fanout(
+        _grid_column,
+        [(scale, seed, p_t) for p_t in preset.table1_p],
+        jobs=jobs,
+    )
+    grid = dict(zip(preset.table1_p, columns))
 
     result = ExperimentResult(
         name="table1",

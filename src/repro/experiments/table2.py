@@ -1,17 +1,42 @@
 """Table II: data-dependent approximation ratio σ(F_ν)/ν(F_ν) on the
-Gowalla-Austin network (paper §VII-B, n=134, m=63)."""
+Gowalla-Austin network (paper §VII-B, n=134, m=63).
+
+Columns fan out per ``p_t`` exactly as in Table I (see table1.py for the
+worker/factory pattern)."""
 
 from __future__ import annotations
 
-from repro.core.ratio import ratio_grid
+from typing import List
+
+from repro.core.ratio import RatioReport, ratio_grid
 from repro.experiments.config import Scale, get_scale
+from repro.experiments.parallel import fanout
 from repro.experiments.results import ExperimentResult
+from repro.experiments.table1 import _grid_draws
 from repro.experiments.workloads import gowalla_workload
 from repro.util.rng import SeedLike
 
 
+def _grid_column(task) -> List[RatioReport]:
+    """One p_t column of Table II (module-level, picklable)."""
+    scale, seed, p_t = task
+    preset = get_scale(scale)
+    workload = gowalla_workload()
+    budgets = list(preset.table2_k)
+    max_k = max(budgets)
+
+    def factory(p: float, draw: int):
+        return workload.instance(
+            p, m=preset.table2_m, k=max_k, seed=(seed, p, draw)
+        )
+
+    return ratio_grid(
+        factory, [p_t], budgets, draws=_grid_draws(scale)
+    )[p_t]
+
+
 def run_table2(
-    scale: str = "paper", seed: SeedLike = 1
+    scale: str = "paper", seed: SeedLike = 1, jobs: int = 1
 ) -> ExperimentResult:
     """Regenerate Table II.
 
@@ -21,15 +46,13 @@ def run_table2(
     preset: Scale = get_scale(scale)
     workload = gowalla_workload()
     budgets = list(preset.table2_k)
-    max_k = max(budgets)
-
-    def factory(p_t: float, draw: int):
-        return workload.instance(
-            p_t, m=preset.table2_m, k=max_k, seed=(seed, p_t, draw)
-        )
-
-    draws = 10 if scale == "paper" else 2
-    grid = ratio_grid(factory, preset.table2_p, budgets, draws=draws)
+    draws = _grid_draws(scale)
+    columns = fanout(
+        _grid_column,
+        [(scale, seed, p_t) for p_t in preset.table2_p],
+        jobs=jobs,
+    )
+    grid = dict(zip(preset.table2_p, columns))
 
     result = ExperimentResult(
         name="table2",

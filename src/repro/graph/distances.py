@@ -40,13 +40,15 @@ class DistanceOracle:
     def matrix(self) -> np.ndarray:
         """The full ``n x n`` distance matrix (computed on first access).
 
-        The returned array is the oracle's internal buffer; treat it as
-        read-only.
+        The returned array is the oracle's internal buffer and is marked
+        read-only — writing through it raises, enforcing the documented
+        contract (callers needing a mutable copy must ``.copy()``).
         """
         if self._matrix is None:
             self._matrix = all_pairs_distance_matrix(
                 self._graph, use_scipy=self._use_scipy
             )
+            self._matrix.setflags(write=False)
         return self._matrix
 
     def distance(self, u: Node, v: Node) -> float:

@@ -44,7 +44,10 @@ class ShortcutDistanceEngine:
     """Distance queries on ``G' = (V, E ∪ F)`` for a fixed shortcut set F.
 
     The engine is immutable; evaluating a different shortcut set means
-    building a new engine (construction is cheap relative to queries).
+    building a new engine — either from scratch, or incrementally from an
+    engine for a subset via :meth:`extended` (the greedy/EA hot path, which
+    derives the new tables from the parent's instead of re-reducing the
+    APSP matrix).
     """
 
     def __init__(
@@ -96,6 +99,7 @@ class ShortcutDistanceEngine:
         matrix = self._oracle.matrix
         if c == 0:
             self._comp_min = np.empty((0, matrix.shape[0]))
+            self._inter = np.empty((0, 0))
             self._closure = np.empty((0, 0))
             return
         # comp_min[a, :] = distance from supernode a to every base node.
@@ -104,13 +108,114 @@ class ShortcutDistanceEngine:
         )
         # Pairwise supernode distances through the base graph, then closed
         # under taking further shortcut hops (supernodes can chain).
-        inter = np.vstack(
+        self._inter = np.vstack(
             [
                 self._comp_min[:, members].min(axis=1)
                 for members in self._components
             ]
         )
-        self._closure = _floyd_warshall_closure(inter)
+        self._closure = _floyd_warshall_closure(self._inter)
+
+    # ----------------------------------------------------- incremental build
+
+    def extended(self, shortcut: ShortcutPair) -> "ShortcutDistanceEngine":
+        """Engine for ``F ∪ {shortcut}``, derived from this engine's tables.
+
+        Equivalent to building a fresh engine for the extended set, but the
+        supernode tables are updated incrementally: the affected component's
+        ``comp_min`` row is an elementwise min of existing rows (plus at most
+        two APSP rows), the inter-supernode matrix changes only in that
+        component's row/column, and only the small ``c × c`` closure is
+        recomputed — ``O(cn + c³)`` with ``c <= |F|`` tiny, instead of
+        re-reducing the APSP matrix over every component member.
+        """
+        graph = self._oracle.graph
+        u, v = shortcut
+        return self.extended_by_index(
+            graph.node_index(u), graph.node_index(v)
+        )
+
+    def extended_by_index(
+        self, iu: int, iv: int
+    ) -> "ShortcutDistanceEngine":
+        """Index-space :meth:`extended` (fast path for the σ evaluator)."""
+        n = self._oracle.number_of_nodes()
+        if iu == iv:
+            raise GraphError(f"shortcut self-loop on index {iu}")
+        if not (0 <= iu < n and 0 <= iv < n):
+            raise GraphError(f"shortcut index pair ({iu}, {iv}) "
+                             f"out of range for n={n}")
+        child = ShortcutDistanceEngine.__new__(ShortcutDistanceEngine)
+        child._oracle = self._oracle
+        child._shortcuts = self._shortcuts + [(iu, iv)]
+
+        comp_u = comp_v = -1
+        for j, members in enumerate(self._components):
+            if iu in members:
+                comp_u = j
+            if iv in members:
+                comp_v = j
+        if comp_u >= 0 and comp_u == comp_v:
+            # Redundant edge inside one supernode: tables are unchanged
+            # (engines are immutable, so sharing them is safe).
+            child._components = self._components
+            child._comp_min = self._comp_min
+            child._inter = self._inter
+            child._closure = self._closure
+            return child
+
+        matrix = self._oracle.matrix
+        components = [list(m) for m in self._components]
+        comp_min_rows = list(self._comp_min)
+        if comp_u < 0 and comp_v < 0:
+            # Fresh two-node supernode, appended last.
+            touched = len(components)
+            components.append(sorted((iu, iv)))
+            comp_min_rows.append(np.minimum(matrix[iu, :], matrix[iv, :]))
+            kept = list(range(len(self._components)))
+        elif comp_u >= 0 and comp_v >= 0:
+            # Merge two existing supernodes (keep the lower slot).
+            lo, hi = sorted((comp_u, comp_v))
+            touched = lo
+            components[lo] = sorted(components[lo] + components[hi])
+            comp_min_rows[lo] = np.minimum(
+                comp_min_rows[lo], comp_min_rows[hi]
+            )
+            del components[hi], comp_min_rows[hi]
+            kept = [j for j in range(len(self._components)) if j != hi]
+        else:
+            # Absorb the loose endpoint into the existing supernode.
+            touched = comp_u if comp_u >= 0 else comp_v
+            loose = iv if comp_u >= 0 else iu
+            components[touched] = sorted(components[touched] + [loose])
+            comp_min_rows[touched] = np.minimum(
+                comp_min_rows[touched], matrix[loose, :]
+            )
+            kept = list(range(len(self._components)))
+
+        child._components = [sorted(m) for m in components]
+        child._comp_min = np.vstack(comp_min_rows)
+        # Inter-supernode base distances change only in the touched row and
+        # column (base distances between untouched member sets are fixed).
+        c = len(components)
+        inter = np.empty((c, c))
+        kept_rows = [j for j in range(c) if j != touched]
+        if kept_rows:
+            sub = np.ix_(
+                [kept[j] for j in kept_rows], [kept[j] for j in kept_rows]
+            )
+            inter[np.ix_(kept_rows, kept_rows)] = self._inter[sub]
+        touched_row = np.array(
+            [
+                child._comp_min[touched, members].min()
+                for members in child._components
+            ]
+        )
+        inter[touched, :] = touched_row
+        inter[:, touched] = touched_row  # base distances are symmetric
+        child._inter = inter
+        child._closure = _floyd_warshall_closure(inter)
+        return child
 
     # ------------------------------------------------------------ inspection
 

@@ -37,11 +37,15 @@ def spawn_rng(rng: random.Random, label: str = "") -> random.Random:
 
     The child is seeded from the parent stream (plus an optional *label* so
     different subsystems fork differently), keeping experiment runs
-    reproducible while isolating each component's consumption pattern.
+    reproducible while isolating each component's consumption pattern. The
+    label is mixed in via SHA-256, not built-in ``hash`` — string hashing
+    is salted per process (PYTHONHASHSEED), which would make spawned
+    streams differ between interpreter launches.
     """
     base = rng.getrandbits(64)
     if label:
-        base ^= hash(label) & 0xFFFFFFFFFFFFFFFF
+        digest = hashlib.sha256(label.encode("utf-8")).digest()
+        base ^= int.from_bytes(digest[:8], "big")
     return random.Random(base)
 
 

@@ -134,3 +134,173 @@ class TestAgainstBruteForce:
             cur = evaluator.value(edges)
             assert cur >= prev
             prev = cur
+
+
+class TestPrunedScan:
+    """The pruned, chunked scatter-add scan must match the dense per-pair
+    masks cell for cell (both are exact)."""
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_pruned_matches_dense(self, seed):
+        import repro.core.evaluator as ev
+
+        instance = random_instance(seed)
+        old = ev.PRUNED_SCAN_MIN_N
+        ev.PRUNED_SCAN_MIN_N = 0  # instances here are below the cutover
+        try:
+            fast = SigmaEvaluator(instance)
+            assert fast._use_pruned_scan()
+            legacy = SigmaEvaluator(instance, pruned=False)
+            rng = random.Random(seed ^ 0xCAFE)
+            edges = []
+            for _ in range(rng.randrange(0, 3)):
+                edges.append(
+                    tuple(sorted(rng.sample(range(instance.n), 2)))
+                )
+            assert np.array_equal(
+                fast.add_candidates(edges), legacy.add_candidates(edges)
+            )
+        finally:
+            ev.PRUNED_SCAN_MIN_N = old
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_pruned_matches_brute_force(self, seed):
+        """Every candidate's score equals brute-force σ(F ∪ {(a, b)})."""
+        import repro.core.evaluator as ev
+
+        instance = random_instance(seed, max_pairs=4)
+        old = ev.PRUNED_SCAN_MIN_N
+        ev.PRUNED_SCAN_MIN_N = 0
+        try:
+            evaluator = SigmaEvaluator(instance)
+            assert evaluator._use_pruned_scan()
+            rng = random.Random(seed ^ 0xD1CE)
+            edges = []
+            for _ in range(rng.randrange(0, 2)):
+                edges.append(
+                    tuple(sorted(rng.sample(range(instance.n), 2)))
+                )
+            scores = evaluator.add_candidates(edges)
+            for a, b in all_candidate_edges(instance.n):
+                assert scores[a, b] == brute_force_sigma(
+                    instance, edges + [(a, b)]
+                )
+        finally:
+            ev.PRUNED_SCAN_MIN_N = old
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_tiny_chunks_match(self, seed):
+        """A pathologically small chunk budget (many flushes) changes
+        nothing but peak memory."""
+        import repro.core.evaluator as ev
+
+        instance = random_instance(seed)
+        old = ev.PRUNED_SCAN_MIN_N
+        ev.PRUNED_SCAN_MIN_N = 0
+        try:
+            chunked = SigmaEvaluator(instance, chunk_elements=3)
+            default = SigmaEvaluator(instance)
+            assert np.array_equal(
+                chunked.add_candidates([]), default.add_candidates([])
+            )
+        finally:
+            ev.PRUNED_SCAN_MIN_N = old
+
+
+class TestPairScanAccumulator:
+    @given(
+        n=st.integers(1, 30),
+        n_pairs=st.integers(0, 6),
+        limit=st.floats(0.1, 4.0),
+        seed=st.integers(0, 10_000),
+        chunk=st.integers(1, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dense_reference(
+        self, n, n_pairs, limit, seed, chunk
+    ):
+        from repro.core.evaluator import PairScanAccumulator
+
+        rng = np.random.default_rng(seed)
+        scan = PairScanAccumulator(n, chunk_elements=chunk)
+        dense = np.zeros((n, n), dtype=np.int32)
+        for _ in range(n_pairs):
+            du = rng.uniform(0.0, 5.0, size=n)
+            dw = rng.uniform(0.0, 5.0, size=n)
+            scan.add_pair(du, dw, limit)
+            mask = (du[:, None] + dw[None, :]) <= limit
+            dense += mask | mask.T
+        assert np.array_equal(scan.result(), dense)
+
+    @given(
+        n=st.integers(1, 20),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_matches_dense_reference(self, n, seed):
+        from repro.core.evaluator import PairScanAccumulator
+
+        rng = np.random.default_rng(seed)
+        limit = 2.0
+        scan = PairScanAccumulator(n, weighted=True, chunk_elements=17)
+        dense = np.zeros((n, n), dtype=float)
+        for weight in (0.5, 2.0, 0.25):
+            du = rng.uniform(0.0, 5.0, size=n)
+            dw = rng.uniform(0.0, 5.0, size=n)
+            scan.add_pair(du, dw, limit, weight=weight)
+            mask = (du[:, None] + dw[None, :]) <= limit
+            dense += (mask | mask.T) * weight
+        assert scan.result() == pytest.approx(dense, abs=1e-12)
+
+
+class TestEngineCache:
+    def test_repeat_lookup_hits(self, tiny_instance):
+        from repro.core.evaluator import EngineCache
+
+        cache = EngineCache(tiny_instance.oracle, maxsize=8)
+        cache.get([(0, 2)])
+        cache.get([(0, 2)])
+        cache.get([(2, 0)])  # normalized to the same key
+        assert cache.builds == 1
+        assert cache.hits == 2
+
+    def test_superset_extends_cached_parent(self, tiny_instance):
+        from repro.core.evaluator import EngineCache
+
+        cache = EngineCache(tiny_instance.oracle, maxsize=8)
+        cache.get([(0, 2)])
+        cache.get([(0, 2), (1, 3)])
+        assert cache.builds == 1
+        assert cache.extensions == 1
+
+    def test_scratch_mode_never_stores(self, tiny_instance):
+        from repro.core.evaluator import EngineCache
+
+        cache = EngineCache(tiny_instance.oracle, maxsize=0)
+        cache.get([(0, 2)])
+        cache.get([(0, 2)])
+        assert cache.builds == 2
+        assert cache.hits == 0 and cache.extensions == 0
+
+    def test_lru_eviction_bounds_size(self, tiny_instance):
+        from repro.core.evaluator import EngineCache
+
+        cache = EngineCache(tiny_instance.oracle, maxsize=2)
+        cache.get([(0, 2)])
+        cache.get([(1, 3)])
+        cache.get([(2, 4)])
+        assert len(cache._store) == 2
+
+    def test_cached_values_are_correct(self, tiny_instance):
+        """Engine reuse must not change σ: compare against a cache-free
+        evaluator on a growing set (the greedy pattern)."""
+        with_cache = SigmaEvaluator(tiny_instance)
+        without = SigmaEvaluator(tiny_instance, engine_cache_size=0)
+        edges = []
+        for edge in [(0, 4), (1, 3), (0, 3)]:
+            edges.append(edge)
+            assert with_cache.value(edges) == without.value(edges)
+        assert with_cache.engine_cache.extensions >= 1

@@ -1,0 +1,148 @@
+"""Tests for the deterministic experiment fan-out: ``fanout`` itself, the
+byte-identity of parallel vs serial runs at every level (run_all, figure
+sweeps, random-baseline trials, multi-seed stats), and the CLI flag."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.random_baseline import solve_random_baseline
+from repro.exceptions import ValidationError
+from repro.experiments.parallel import fanout, resolve_jobs
+from repro.experiments.runner import run_all, run_all_timed, run_experiment
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_odd(x):
+    if x % 2:
+        raise ValueError(f"odd: {x}")
+    return x
+
+
+class TestFanout:
+    def test_serial_map(self):
+        assert fanout(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_parallel_preserves_order(self):
+        assert fanout(_square, list(range(10)), jobs=3) == [
+            x * x for x in range(10)
+        ]
+
+    def test_empty_tasks(self):
+        assert fanout(_square, [], jobs=4) == []
+
+    def test_single_task_stays_in_process(self):
+        assert fanout(_square, [7], jobs=4) == [49]
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValidationError):
+            fanout(_square, [1], jobs=0)
+        with pytest.raises(ValidationError):
+            resolve_jobs(-2)
+
+    def test_worker_errors_propagate(self):
+        with pytest.raises(ValueError):
+            fanout(_fail_on_odd, [2, 3], jobs=2)
+
+
+def _result_bytes(results):
+    return json.dumps([r.to_json() for r in results], sort_keys=True)
+
+
+class TestByteIdenticalRuns:
+    # A small but representative subset keeps this fast: a ratio table
+    # (per-p_t columns), fig1 (random-baseline trials) and fig2 (per-cell
+    # sweep with workload rebuild in workers).
+    NAMES = ["table1", "fig1", "fig2"]
+
+    def test_run_all_jobs_matches_serial(self):
+        serial = run_all(scale="quick", seed=3, names=self.NAMES, jobs=1)
+        parallel = run_all(scale="quick", seed=3, names=self.NAMES, jobs=2)
+        assert _result_bytes(serial) == _result_bytes(parallel)
+
+    def test_inner_jobs_match_serial(self):
+        """Per-experiment fan-out (sweep cells / trials) is also inert."""
+        for name in self.NAMES:
+            a = run_experiment(name, scale="quick", seed=5, jobs=1)
+            b = run_experiment(name, scale="quick", seed=5, jobs=2)
+            assert _result_bytes([a]) == _result_bytes([b])
+
+    def test_run_all_timed_reports_durations(self):
+        timed = run_all_timed(scale="quick", seed=1, names=["table1"])
+        assert len(timed) == 1
+        result, elapsed = timed[0]
+        assert result.name == "table1"
+        assert elapsed > 0
+
+
+class TestRandomBaselineJobs:
+    def test_jobs_identical_to_serial(self, tiny_instance):
+        serial = solve_random_baseline(tiny_instance, seed=9, trials=40)
+        parallel = solve_random_baseline(
+            tiny_instance, seed=9, trials=40, jobs=2
+        )
+        assert serial.edges == parallel.edges
+        assert serial.sigma == parallel.sigma
+        assert serial.trace == parallel.trace
+
+    def test_trial_prefix_property(self, tiny_instance):
+        """Per-trial seed spawning: a longer run replays the shorter run's
+        trials exactly, then continues."""
+        short = solve_random_baseline(tiny_instance, seed=11, trials=10)
+        long = solve_random_baseline(tiny_instance, seed=11, trials=25)
+        assert long.trace[:10] == short.trace
+
+    def test_custom_sigma_falls_back_to_serial(self, tiny_instance):
+        from repro.core.evaluator import SigmaEvaluator
+
+        sigma = SigmaEvaluator(tiny_instance)
+        result = solve_random_baseline(
+            tiny_instance, seed=13, trials=10, sigma=sigma, jobs=4
+        )
+        reference = solve_random_baseline(
+            tiny_instance, seed=13, trials=10
+        )
+        assert result.sigma == reference.sigma
+        assert result.edges == reference.edges
+
+
+class TestRunWithSeedsJobs:
+    def test_jobs_identical_aggregate(self):
+        from repro.experiments.stats import run_with_seeds
+
+        serial = run_with_seeds("table1", seeds=[1, 2], scale="quick")
+        parallel = run_with_seeds(
+            "table1", seeds=[1, 2], scale="quick", jobs=2
+        )
+        assert _result_bytes([serial]) == _result_bytes([parallel])
+
+
+class TestCliJobs:
+    def test_run_all_with_jobs_prints_speedup_summary(self, capsys):
+        code = main(
+            [
+                "run",
+                "table1",
+                "fig1",
+                "--scale",
+                "quick",
+                "--jobs",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "finished in" in out
+        assert "serial-equivalent" in out and "speedup" in out
+
+    def test_single_experiment_with_jobs(self, capsys):
+        code = main(
+            ["run", "table1", "--scale", "quick", "--jobs", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[table1 finished in" in out

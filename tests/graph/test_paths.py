@@ -158,3 +158,61 @@ class TestAgainstNetworkx:
                     assert math.isinf(got)
                 else:
                     assert got == pytest.approx(expected)
+
+
+class TestZeroLengthEdgeBackends:
+    """Regression for the scipy zero-length workaround: csgraph drops
+    explicit zeros from sparse matrices, so ``_apsp_scipy`` bumps them to
+    1e-300. Both backends must agree on graphs with exact-zero edges."""
+
+    def _assert_backends_agree(self, g):
+        pytest.importorskip("scipy")
+        via_scipy = all_pairs_distance_matrix(g, use_scipy=True)
+        via_python = all_pairs_distance_matrix(g, use_scipy=False)
+        assert via_scipy.shape == via_python.shape
+        finite = np.isfinite(via_python)
+        assert np.array_equal(finite, np.isfinite(via_scipy))
+        # The 1e-300 bump is the only permissible deviation; anything
+        # visible at 1e-200 means the workaround broke.
+        assert np.all(
+            np.abs(via_scipy[finite] - via_python[finite]) < 1e-200
+        )
+
+    def test_exact_zero_edge_on_path(self):
+        g = path_graph([1.0, 0.0, 2.0])
+        self._assert_backends_agree(g)
+        matrix = all_pairs_distance_matrix(g, use_scipy=False)
+        assert matrix[1, 2] == 0.0
+        assert matrix[0, 3] == pytest.approx(3.0)
+
+    def test_all_zero_component(self):
+        g = WirelessGraph()
+        g.add_nodes(range(4))
+        g.add_edge(0, 1, length=0.0)
+        g.add_edge(1, 2, length=0.0)
+        g.add_edge(2, 0, length=0.0)  # zero triangle, node 3 disconnected
+        self._assert_backends_agree(g)
+        matrix = all_pairs_distance_matrix(g, use_scipy=True)
+        assert matrix[0, 2] < 1e-200
+        assert math.isinf(matrix[0, 3])
+
+    @given(
+        n=st.integers(2, 12),
+        zero_prob=st.floats(0.1, 0.9),
+        seed=st.integers(0, 100_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_graphs_with_zero_edges(self, n, zero_prob, seed):
+        rng = random.Random(seed)
+        g = WirelessGraph()
+        g.add_nodes(range(n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < 0.5:
+                    length = (
+                        0.0
+                        if rng.random() < zero_prob
+                        else rng.uniform(0.0, 3.0)
+                    )
+                    g.add_edge(i, j, length=length)
+        self._assert_backends_agree(g)

@@ -215,3 +215,100 @@ class TestAgainstNetworkx:
             assert math.isinf(row[v])
         else:
             assert scalar == pytest.approx(float(row[v]))
+
+
+class TestExtended:
+    """extended()/extended_by_index() must be indistinguishable from
+    building the engine for the larger set from scratch."""
+
+    @staticmethod
+    def _assert_same_engine(incremental, scratch, n):
+        assert sorted(map(tuple, incremental.component_indices)) == sorted(
+            map(tuple, scratch.component_indices)
+        )
+        sources = list(range(n))
+        a = incremental.distances_from_indices(sources)
+        b = scratch.distances_from_indices(sources)
+        assert a == pytest.approx(b, abs=1e-9)
+
+    @given(
+        n=st.integers(4, 14),
+        edge_prob=st.floats(0.2, 0.7),
+        n_shortcuts=st.integers(0, 6),
+        seed=st.integers(0, 100_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_extension_matches_scratch(
+        self, n, edge_prob, n_shortcuts, seed
+    ):
+        rng = random.Random(seed)
+        g = random_graph(n, edge_prob, rng)
+        oracle = DistanceOracle(g)
+        pairs = [
+            tuple(rng.sample(range(n), 2)) for _ in range(n_shortcuts + 1)
+        ]
+        parent = ShortcutDistanceEngine.from_index_pairs(oracle, pairs[:-1])
+        incremental = parent.extended_by_index(*pairs[-1])
+        scratch = ShortcutDistanceEngine.from_index_pairs(oracle, pairs)
+        self._assert_same_engine(incremental, scratch, n)
+        assert incremental.shortcut_indices == pairs
+
+    @given(
+        n=st.integers(4, 12),
+        n_shortcuts=st.integers(1, 8),
+        seed=st.integers(0, 100_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_extension_chain_matches_scratch(self, n, n_shortcuts, seed):
+        """Growing one edge at a time (the greedy hot path) must agree with
+        the scratch build at every prefix."""
+        rng = random.Random(seed)
+        g = random_graph(n, 0.4, rng)
+        oracle = DistanceOracle(g)
+        engine = ShortcutDistanceEngine.from_index_pairs(oracle, [])
+        pairs = []
+        for _ in range(n_shortcuts):
+            pair = tuple(rng.sample(range(n), 2))
+            pairs.append(pair)
+            engine = engine.extended_by_index(*pair)
+            scratch = ShortcutDistanceEngine.from_index_pairs(oracle, pairs)
+            self._assert_same_engine(engine, scratch, n)
+
+    def test_node_keyed_extended(self):
+        g = path_graph([1.0, 1.0, 1.0, 1.0])
+        oracle = DistanceOracle(g)
+        engine = ShortcutDistanceEngine(oracle, [(0, 2)])
+        extended = engine.extended((2, 4))
+        scratch = ShortcutDistanceEngine(oracle, [(0, 2), (2, 4)])
+        assert extended.distances_from(0) == pytest.approx(
+            scratch.distances_from(0)
+        )
+
+    def test_redundant_edge_shares_tables(self):
+        """An edge inside an existing supernode changes nothing; the child
+        may share the immutable parent tables outright."""
+        g = path_graph([1.0, 1.0, 1.0])
+        oracle = DistanceOracle(g)
+        engine = ShortcutDistanceEngine(oracle, [(0, 1), (1, 2)])
+        child = engine.extended_by_index(0, 2)
+        assert child.component_indices == engine.component_indices
+        assert len(child.shortcut_indices) == 3
+        assert child.distances_from(3) == pytest.approx(
+            engine.distances_from(3)
+        )
+
+    def test_extended_rejects_self_loop_and_range(self):
+        g = path_graph([1.0, 1.0])
+        engine = ShortcutDistanceEngine(DistanceOracle(g), [])
+        with pytest.raises(GraphError):
+            engine.extended_by_index(1, 1)
+        with pytest.raises(GraphError):
+            engine.extended_by_index(0, 99)
+
+    def test_parent_unchanged_by_extension(self):
+        g = path_graph([1.0, 1.0, 1.0, 1.0])
+        engine = ShortcutDistanceEngine(DistanceOracle(g), [(0, 2)])
+        before = engine.distances_from(0).copy()
+        engine.extended_by_index(2, 4)
+        assert engine.distances_from(0) == pytest.approx(before)
+        assert engine.shortcut_indices == [(0, 2)]

@@ -1,6 +1,8 @@
 """Tests for repro.util.rng."""
 
 import random
+import subprocess
+import sys
 
 from repro.util.rng import ensure_rng, ensure_seed, spawn_rng
 
@@ -63,6 +65,31 @@ class TestSpawnRng:
         parent.random()  # consuming the parent does not rewind the child
         child2 = spawn_rng(random.Random(5), "x")
         assert child2.random() == before
+
+    def test_label_stable_across_hash_seeds(self):
+        """Labeled spawns must not depend on PYTHONHASHSEED — built-in
+        string hashing is salted per process, which once made fig5 differ
+        between interpreter launches."""
+        script = (
+            "import random; from repro.util.rng import spawn_rng; "
+            "print(spawn_rng(random.Random(5), 'trace').getrandbits(64))"
+        )
+        import os
+
+        import repro
+
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                env={"PYTHONHASHSEED": hash_seed, "PYTHONPATH": src},
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout
+            for hash_seed in ("1", "2")
+        }
+        assert len(outputs) == 1
 
 
 class TestEnsureSeed:
