@@ -5,6 +5,8 @@ Usage::
     msc-repro list
     msc-repro run table1 [--scale paper|quick] [--seed 1] [--json out.json]
     msc-repro run all --scale quick
+    msc-repro run all --jobs 4 --resume ckpt/ --retries 2  # fault-tolerant
+    msc-repro robustness --scale quick    # fault-injection degradation
     msc-repro describe            # workload summaries
 
 (also available as ``python -m repro.cli``)
@@ -82,6 +84,59 @@ def build_parser() -> argparse.ArgumentParser:
         "this many worker processes; results are byte-identical to a "
         "serial run",
     )
+    run.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="checkpoint directory: completed experiments are journaled "
+        "there as they finish, and a re-run pointed at the same directory "
+        "restores them instead of recomputing (results stay byte-identical "
+        "to an uninterrupted run)",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry an experiment whose worker raised, crashed, or hung "
+        "up to this many extra times on a fresh process (with exponential "
+        "backoff) before reporting it failed",
+    )
+    run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment wall-clock bound; a worker exceeding it is "
+        "terminated (and retried if --retries allows)",
+    )
+
+    robustness = sub.add_parser(
+        "robustness",
+        help="fault-injection study: placement degradation under shortcut "
+        "outages, failure-probability drift, and node loss",
+    )
+    robustness.add_argument(
+        "--scale", default="paper", choices=sorted(SCALES),
+        help="parameter preset (default: paper)",
+    )
+    robustness.add_argument(
+        "--seed", type=int, default=1, help="base RNG seed"
+    )
+    robustness.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan (mode, severity) cells out across worker processes",
+    )
+    robustness.add_argument(
+        "--json", default=None, help="write the result to this JSON file"
+    )
+    robustness.add_argument(
+        "--precision", type=int, default=4,
+        help="decimal places in rendered tables",
+    )
+    robustness.add_argument(
+        "--charts", action="store_true",
+        help="also render degradation curves as ASCII charts",
+    )
 
     sub.add_parser(
         "describe", help="print the generated workloads' summary statistics"
@@ -114,16 +169,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         names = experiment_names()
     jobs = args.jobs
     results = []
-    if args.seeds == 1 and jobs > 1 and len(names) > 1:
+    fault_tolerant = (
+        args.resume is not None
+        or args.retries > 0
+        or args.task_timeout is not None
+    )
+    if args.seeds == 1 and (
+        fault_tolerant or (jobs > 1 and len(names) > 1)
+    ):
         # Fan whole experiments out; each carries its own wall-clock so the
         # summary can report the speedup over an equivalent serial run.
-        from repro.experiments.runner import run_all_timed
+        # Failures (after the retry budget) are reported per task instead
+        # of aborting the campaign; completed work is kept — and, with
+        # --resume, journaled for the next invocation.
+        from repro.experiments.runner import run_all_report
 
         wall_start = time.perf_counter()
-        timed = run_all_timed(
-            scale=args.scale, seed=args.seed, names=names, jobs=jobs
+        report = run_all_report(
+            scale=args.scale,
+            seed=args.seed,
+            names=names,
+            jobs=jobs,
+            checkpoint_dir=args.resume,
+            retries=args.retries,
+            task_timeout=args.task_timeout,
         )
         wall = time.perf_counter() - wall_start
+        timed = [entry for entry in report.results if entry is not None]
         for result, elapsed in timed:
             print(
                 result.render(precision=args.precision, charts=args.charts)
@@ -133,12 +205,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
             results.append(result.to_json())
         serial_equivalent = sum(elapsed for _, elapsed in timed)
         speedup = serial_equivalent / wall if wall > 0 else float("inf")
+        restored = (
+            f"; {report.restored} restored from {args.resume}"
+            if report.restored
+            else ""
+        )
+        retried = (
+            f"; {report.retried} attempt(s) retried" if report.retried else ""
+        )
         print(
-            f"[{len(timed)} experiments in {wall:.1f}s wall with "
-            f"--jobs {jobs}; serial-equivalent {serial_equivalent:.1f}s; "
-            f"speedup {speedup:.1f}x]"
+            f"[{len(timed)}/{len(names)} experiments in {wall:.1f}s wall "
+            f"with --jobs {jobs}; serial-equivalent "
+            f"{serial_equivalent:.1f}s; speedup {speedup:.1f}x"
+            f"{restored}{retried}]"
         )
         print()
+        if report.failures:
+            for error in report.failures:
+                print(f"FAILED: {error}", file=sys.stderr)
+                if error.cause_traceback:
+                    last = error.cause_traceback.strip().splitlines()[-1]
+                    print(f"  cause: {last}", file=sys.stderr)
+            hint = (
+                f" re-run with --resume {args.resume} to retry only the "
+                "failed experiment(s)."
+                if args.resume
+                else " pass --resume DIR to checkpoint completed work."
+            )
+            print(
+                f"{len(report.failures)} experiment(s) failed; "
+                f"{len(timed)} completed result(s) were kept.{hint}",
+                file=sys.stderr,
+            )
+            if args.json and results:
+                dump_json(results, args.json)
+                print(f"wrote {args.json} (completed experiments only)")
+            return 1
     else:
         for name in names:
             start = time.perf_counter()
@@ -178,6 +280,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    start = time.perf_counter()
+    result = run_experiment(
+        "robustness", scale=args.scale, seed=args.seed, jobs=args.jobs
+    )
+    elapsed = time.perf_counter() - start
+    print(result.render(precision=args.precision, charts=args.charts))
+    print(f"[robustness finished in {elapsed:.1f}s]")
+    if args.json:
+        dump_json([result.to_json()], args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_describe() -> int:
     from repro.experiments.workloads import gowalla_workload, rg_workload
     from repro.graph.metrics import graph_stats
@@ -195,6 +311,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "robustness":
+        return _cmd_robustness(args)
     if args.command == "describe":
         return _cmd_describe()
     if args.command == "report":

@@ -166,6 +166,20 @@ class AdaptiveEvolutionaryAlgorithm:
 
     def solve(self, k: Optional[int] = None) -> PlacementResult:
         budget = self.instance.k if k is None else k
+        if budget == 0:
+            # The swap operators maintain exactly-k placements and always
+            # add an edge, so a zero budget must short-circuit to the empty
+            # placement instead of entering the loop.
+            value = float(self.sigma.value([]))
+            return PlacementResult(
+                algorithm="aea",
+                edges=[],
+                sigma=int(value),
+                satisfied=_satisfied_or_empty(self.sigma, []),
+                evaluations=1,
+                trace=[int(value)],
+                extras={"pool_size": 1, "delta": self.delta},
+            )
         if self._initial_edges is not None:
             initial = list(self._initial_edges[:budget])
             # AEA maintains exactly-k placements; top up short warm starts.

@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import SolverError
-from repro.util.validation import check_positive_int
+from repro.util.validation import check_nonnegative_int
 
 #: Gains below this are treated as zero when weights are real-valued.
 GAIN_EPSILON = 1e-12
@@ -53,7 +53,7 @@ def greedy_max_coverage(
     Stops early when no remaining set adds positive weight. Ties break
     toward the lowest set index (deterministic).
     """
-    check_positive_int(k, "k")
+    check_nonnegative_int(k, "k")  # k = 0 selects nothing
     sets = np.asarray(sets, dtype=bool)
     if sets.ndim != 2:
         raise SolverError(f"sets must be 2-D, got shape {sets.shape}")

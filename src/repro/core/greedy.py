@@ -17,7 +17,7 @@ import numpy as np
 from repro.core.setfunction import SetFunctionProtocol
 from repro.exceptions import SolverError
 from repro.types import IndexPair, normalize_index_pair
-from repro.util.validation import check_positive_int
+from repro.util.validation import check_nonnegative_int
 
 #: Gains smaller than this are treated as zero (floating-point guard for the
 #: real-valued ν function; σ and μ are integer-valued).
@@ -51,7 +51,7 @@ def greedy_placement(
     Ties are broken toward the lexicographically smallest ``(a, b)`` pair,
     keeping runs deterministic.
     """
-    check_positive_int(k, "k")
+    check_nonnegative_int(k, "k")  # k = 0 is a valid (empty) placement
     n = fn.n
     placed: List[IndexPair] = [normalize_index_pair(a, b) for a, b in existing]
     if len(placed) > k:

@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.greedy import GAIN_EPSILON
 from repro.exceptions import SolverError
 from repro.types import IndexPair, normalize_index_pair
-from repro.util.validation import check_positive_int
+from repro.util.validation import check_nonnegative_int
 
 #: A point-evaluable set function: value(edges) -> float, plus .n.
 ValueFunction = Callable[[Sequence[IndexPair]], float]
@@ -59,12 +59,14 @@ def lazy_greedy_placement(
         and the number of point evaluations spent (the quantity CELF
         minimizes).
     """
-    check_positive_int(k, "k")
+    check_nonnegative_int(k, "k")
     if not assume_submodular and not getattr(fn, "is_submodular", False):
         raise SolverError(
             "lazy greedy requires a submodular function; pass "
             "assume_submodular=True to override (heuristic!)"
         )
+    if k == 0:  # empty placement; skip the O(n^2) heap seeding
+        return [], 0
     n = fn.n
     if candidates is None:
         candidates = [

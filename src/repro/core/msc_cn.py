@@ -38,6 +38,15 @@ def solve_msc_cn_exact(
     import itertools
     import math as _math
 
+    if instance.m == 0:
+        # No pairs: any placement has sigma 0, so the empty one is optimal.
+        return PlacementResult(
+            algorithm="msc_cn_exact",
+            edges=[],
+            sigma=0,
+            satisfied=[],
+            extras={"common_node": common, "search_space": 1},
+        )
     if common is None:
         common = instance.common_node()
         if common is None:
@@ -112,6 +121,19 @@ def solve_msc_cn(
         SolverError: if the instance has no common node (use the general
             algorithms instead).
     """
+    if instance.m == 0:
+        # No pairs: the coverage universe is empty and greedy picks nothing.
+        return PlacementResult(
+            algorithm="msc_cn",
+            edges=[],
+            sigma=0,
+            satisfied=[],
+            extras={
+                "common_node": common,
+                "covered_weight": 0.0,
+                "base_satisfied": 0,
+            },
+        )
     if common is None:
         common = instance.common_node()
         if common is None:

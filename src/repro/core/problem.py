@@ -19,6 +19,7 @@ from repro.types import IndexPair, NodePair, normalize_index_pair
 from repro.util.validation import (
     check_fraction,
     check_nonnegative,
+    check_nonnegative_int,
     check_positive_int,
 )
 
@@ -43,6 +44,12 @@ class MSCInstance:
             relies on it; set to False to accept arbitrary pair sets (the
             evaluator and bounds still handle base-satisfied pairs
             correctly).
+        allow_degenerate: when True, accept a ``k = 0`` budget and an empty
+            pair set. Such instances arise naturally in robustness studies
+            (fault injection can wipe out every pair) and every registered
+            solver returns a well-formed empty-ish
+            :class:`~repro.types.PlacementResult` for them; the default
+            keeps the paper's preconditions strict.
     """
 
     def __init__(
@@ -54,6 +61,7 @@ class MSCInstance:
         p_threshold: Optional[float] = None,
         d_threshold: Optional[float] = None,
         require_initially_unsatisfied: bool = True,
+        allow_degenerate: bool = False,
         oracle: Optional[DistanceOracle] = None,
     ) -> None:
         if (p_threshold is None) == (d_threshold is None):
@@ -67,7 +75,10 @@ class MSCInstance:
             d_threshold = check_nonnegative(d_threshold, "d_threshold")
         self.graph = graph
         self.d_threshold = float(d_threshold)
-        self.k = check_positive_int(k, "k")
+        if allow_degenerate:
+            self.k = check_nonnegative_int(k, "k")
+        else:
+            self.k = check_positive_int(k, "k")
         self.oracle = oracle if oracle is not None else DistanceOracle(graph)
         if oracle is not None and oracle.graph is not graph:
             raise InstanceError("oracle was built for a different graph")
@@ -85,8 +96,11 @@ class MSCInstance:
             self.pair_indices.append(
                 normalize_index_pair(graph.node_index(u), graph.node_index(w))
             )
-        if not self.pairs:
-            raise InstanceError("at least one important social pair required")
+        if not self.pairs and not allow_degenerate:
+            raise InstanceError(
+                "at least one important social pair required "
+                "(pass allow_degenerate=True to accept an empty set)"
+            )
 
         if require_initially_unsatisfied:
             for (u, w), (iu, iw) in zip(self.pairs, self.pair_indices):
@@ -129,10 +143,13 @@ class MSCInstance:
     def common_node(self) -> Optional[Node]:
         """The node shared by *all* pairs, if one exists (MSC-CN case).
 
-        Returns ``None`` when no single node appears in every pair. If both
-        endpoints of the first pair are common to all pairs (only possible
-        with duplicated pairs), the first is returned.
+        Returns ``None`` when no single node appears in every pair (or when
+        the instance has no pairs at all). If both endpoints of the first
+        pair are common to all pairs (only possible with duplicated pairs),
+        the first is returned.
         """
+        if not self.pairs:
+            return None
         candidates = set(self.pairs[0])
         for u, w in self.pairs[1:]:
             candidates &= {u, w}

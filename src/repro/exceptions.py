@@ -31,3 +31,37 @@ class TraceFormatError(ReproError):
 
 class SolverError(ReproError):
     """Raised when an algorithm is invoked with unusable configuration."""
+
+
+class TaskError(ReproError):
+    """Raised when a fanned-out task fails after its retry budget.
+
+    Unlike the bare ``BrokenProcessPool`` / worker exception it wraps, a
+    ``TaskError`` always identifies *which* task died, how many attempts it
+    was given, and the original traceback text — so a crashed
+    ``(experiment, scale, seed)`` cell in a long campaign is diagnosable
+    from the error alone.
+
+    Attributes:
+        task: the task object (or key) that failed.
+        attempts: how many attempts were made before giving up.
+        cause_traceback: formatted traceback string of the last failure
+            (``None`` when unavailable, e.g. the worker process died).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task=None,
+        attempts: int = 1,
+        cause_traceback=None,
+    ) -> None:
+        super().__init__(message)
+        self.task = task
+        self.attempts = attempts
+        self.cause_traceback = cause_traceback
+
+
+class TaskTimeoutError(TaskError):
+    """Raised when a task exceeds its per-task timeout budget."""

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.exceptions import ValidationError
 from repro.util.serialization import dump_json
 from repro.util.tables import render_series, render_table
 
@@ -122,3 +123,25 @@ class ExperimentResult:
         if path is not None:
             dump_json(data, path)
         return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from its :meth:`to_json` form.
+
+        JSON has no tuple type, so series entries come back as
+        ``[name, values]`` lists; all consumers (rendering, aggregation,
+        re-serialization) accept both, and a restored result serializes to
+        byte-identical JSON — the property checkpoint/resume relies on.
+        """
+        if not isinstance(data, dict) or "name" not in data:
+            raise ValidationError(
+                f"not an ExperimentResult payload: {data!r:.80}"
+            )
+        return cls(
+            name=data["name"],
+            title=data.get("title", ""),
+            params=dict(data.get("params", {})),
+            tables=[dict(t) for t in data.get("tables", [])],
+            series=[dict(s) for s in data.get("series", [])],
+            notes=list(data.get("notes", [])),
+        )

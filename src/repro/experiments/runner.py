@@ -4,15 +4,27 @@
 (``jobs > 1``); every experiment derives all randomness from its
 ``(name, scale, seed)`` task alone, so the combined output is
 byte-identical to the serial run at any job count.
+
+The runner is fault-tolerant: with ``checkpoint_dir`` set, every finished
+``(experiment, scale, seed)`` task is journaled atomically the moment it
+completes, a crashed/hung worker is retried up to ``retries`` extra times
+on a fresh process, and a re-run pointed at the same directory restores
+journaled tasks instead of recomputing them — producing byte-identical
+final results, because each task's output is a pure function of its key.
 """
 
 from __future__ import annotations
 
 import inspect
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import ValidationError
+from repro.experiments.results import ExperimentResult
+from repro.experiments.parallel import FanoutReport, fanout_report
+from repro.util.resilience import policy_for_retries
+from repro.util.serialization import TaskJournal
 from repro.experiments.ablations import (
     run_ablation_aea,
     run_ablation_ea_mutation,
@@ -29,8 +41,7 @@ from repro.experiments.generality_exp import run_generality
 from repro.experiments.msc_cn_exp import run_msc_cn
 from repro.experiments.prediction_exp import run_prediction
 from repro.experiments.replanning_exp import run_replanning
-from repro.experiments.parallel import fanout
-from repro.experiments.results import ExperimentResult
+from repro.experiments.robustness_exp import run_robustness
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.util.rng import SeedLike
@@ -61,6 +72,7 @@ SUPPLEMENTARY: Dict[str, Runner] = {
     "prediction": run_prediction,
     "generality": run_generality,
     "replanning": run_replanning,
+    "robustness": run_robustness,
 }
 
 
@@ -114,21 +126,90 @@ def _timed_experiment_task(
     return result, time.perf_counter() - start
 
 
+def _task_key(task: Tuple[str, str, SeedLike]) -> List:
+    """Journal key of a ``run_all`` task: the task itself. Seeds must be
+    JSON-representable (ints/strings/tuples), which all CLI seeds are."""
+    return list(task)
+
+
+def _encode_timed(timed: Tuple[ExperimentResult, float]) -> Dict:
+    result, elapsed = timed
+    return {"result": result.to_json(), "elapsed": elapsed}
+
+
+def _decode_timed(payload: Dict) -> Tuple[ExperimentResult, float]:
+    return (
+        ExperimentResult.from_json(payload["result"]),
+        float(payload["elapsed"]),
+    )
+
+
+def run_all_report(
+    scale: str = "paper",
+    seed: SeedLike = 1,
+    names: Optional[List[str]] = None,
+    jobs: int = 1,
+    *,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    retries: int = 0,
+    task_timeout: Optional[float] = None,
+) -> FanoutReport:
+    """Fault-tolerant ``run_all`` returning a full :class:`FanoutReport`.
+
+    Each element of ``report.results`` is ``(result, elapsed_seconds)`` in
+    declared experiment order (``None`` where a task exhausted its retry
+    budget — those tasks are listed per-task in ``report.failures``).
+    With *checkpoint_dir*, completed tasks are journaled atomically as
+    they finish and already-journaled tasks are restored instead of
+    re-run, so a killed campaign resumes without losing (or re-spending)
+    anything; tasks that do run produce byte-identical output to an
+    uninterrupted run.
+    """
+    selected = names if names is not None else experiment_names()
+    journal = (
+        TaskJournal(checkpoint_dir) if checkpoint_dir is not None else None
+    )
+    return fanout_report(
+        _timed_experiment_task,
+        [(name, scale, seed) for name in selected],
+        jobs=jobs,
+        policy=policy_for_retries(retries),
+        task_timeout=task_timeout,
+        journal=journal,
+        key_fn=_task_key,
+        encode=_encode_timed,
+        decode=_decode_timed,
+    )
+
+
 def run_all_timed(
     scale: str = "paper",
     seed: SeedLike = 1,
     names: Optional[List[str]] = None,
     jobs: int = 1,
+    *,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    retries: int = 0,
+    task_timeout: Optional[float] = None,
 ) -> List[Tuple[ExperimentResult, float]]:
     """Like :func:`run_all` but each result comes with its wall-clock
     seconds. With ``jobs > 1`` experiments run across worker processes;
-    results stay in declared order and are byte-identical to serial."""
-    selected = names if names is not None else experiment_names()
-    return fanout(
-        _timed_experiment_task,
-        [(name, scale, seed) for name in selected],
+    results stay in declared order and are byte-identical to serial.
+    See :func:`run_all_report` for the fault-tolerance keywords; here an
+    exhausted retry budget raises the first per-task
+    :class:`~repro.exceptions.TaskError` (journaled completions are kept).
+    """
+    report = run_all_report(
+        scale=scale,
+        seed=seed,
+        names=names,
         jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        retries=retries,
+        task_timeout=task_timeout,
     )
+    report.raise_on_failure()
+    return list(report.results)
 
 
 def run_all(
@@ -136,11 +217,13 @@ def run_all(
     seed: SeedLike = 1,
     names: Optional[List[str]] = None,
     jobs: int = 1,
+    **fault_tolerance,
 ) -> List[ExperimentResult]:
     """Run every (or the selected) experiment, in declared order."""
     return [
         result
         for result, _ in run_all_timed(
-            scale=scale, seed=seed, names=names, jobs=jobs
+            scale=scale, seed=seed, names=names, jobs=jobs,
+            **fault_tolerance,
         )
     ]

@@ -1,4 +1,5 @@
-"""Link failure models and probability/length transforms."""
+"""Link failure models, probability/length transforms, and fault
+injection."""
 
 from repro.failure.models import (
     ConstantFailure,
@@ -18,4 +19,34 @@ __all__ = [
     "ConstantFailure",
     "DistanceProportionalFailure",
     "ExponentialDistanceFailure",
+    "MODES",
+    "FaultInjectionHarness",
+    "InjectionOutcome",
+    "drift_failure_probabilities",
+    "drop_shortcut_edges",
+    "remove_random_nodes",
 ]
+
+_INJECTION_EXPORTS = frozenset(
+    {
+        "MODES",
+        "FaultInjectionHarness",
+        "InjectionOutcome",
+        "drift_failure_probabilities",
+        "drop_shortcut_edges",
+        "remove_random_nodes",
+    }
+)
+
+
+def __getattr__(name):
+    # repro.failure.injection needs the core evaluator, which itself imports
+    # repro.failure.models — importing it eagerly here would close that
+    # cycle, so its exports resolve lazily on first access.
+    if name in _INJECTION_EXPORTS:
+        from repro.failure import injection
+
+        return getattr(injection, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

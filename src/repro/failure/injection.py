@@ -1,0 +1,328 @@
+"""Fault injection: stress-test a solved placement under degraded networks.
+
+The MSC model treats shortcut edges as perfectly reliable and the base
+graph's failure probabilities as fixed. This harness asks what happens when
+those assumptions degrade — the robustness question the paper's premise
+(surviving link failures) raises but never measures:
+
+* **shortcut outage** — a fraction of the placed shortcut edges goes dark
+  (hardware failure, jamming, de-provisioning);
+* **probability drift** — every base link's failure probability inflates
+  (interference, weather, congestion), so paths certified against ``p_t``
+  may silently stop meeting it;
+* **node loss** — a fraction of nodes disappears entirely (battery death,
+  mobility out of range), taking incident links — and possibly social-pair
+  endpoints — with them.
+
+Each perturbed scenario is measured two ways, closing the loop between the
+analytic objective and the simulated network: σ via
+:class:`~repro.core.evaluator.SigmaEvaluator` on the perturbed graph, and
+the simulated delivery rate via
+:class:`~repro.sim.delivery.DeliverySimulator`. All randomness derives from
+``(seed, mode, severity)`` alone, so sweeps are reproducible and
+parallelizable cell-by-cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.evaluator import SigmaEvaluator
+from repro.core.problem import MSCInstance
+from repro.exceptions import ValidationError
+from repro.failure.models import MAX_FAILURE_PROBABILITY, length_to_failure
+from repro.graph.graph import Node, WirelessGraph
+from repro.sim.delivery import DeliverySimulator
+from repro.types import NodePair, normalize_index_pair
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.validation import (
+    check_nonnegative,
+    check_positive_int,
+    check_probability,
+)
+
+#: Supported fault modes, in reporting order.
+MODES = ("shortcut_outage", "probability_drift", "node_loss")
+
+
+@dataclass(frozen=True)
+class InjectionOutcome:
+    """Measured degradation of one ``(mode, severity)`` scenario.
+
+    Attributes:
+        mode: fault mode (one of :data:`MODES`).
+        severity: fault intensity in [0, 1]; 0 is the unperturbed baseline.
+        sigma: pairs still maintained (σ over the perturbed network; pairs
+            that lost an endpoint count as unmaintained).
+        num_pairs: total pairs of the original instance (the denominator).
+        delivery_rate: mean simulated delivery rate across all original
+            pairs (lost pairs deliver nothing).
+        pairs_meeting_requirement: pairs whose simulated rate still clears
+            ``1 - p_t``.
+        dropped_shortcuts: shortcut edges disabled by the fault.
+        lost_nodes: nodes removed by the fault.
+    """
+
+    mode: str
+    severity: float
+    sigma: int
+    num_pairs: int
+    delivery_rate: float
+    pairs_meeting_requirement: int
+    dropped_shortcuts: int = 0
+    lost_nodes: int = 0
+
+    @property
+    def sigma_fraction(self) -> float:
+        """σ as a fraction of the pair count (1.0 for a pairless
+        instance — nothing to degrade)."""
+        if self.num_pairs == 0:
+            return 1.0
+        return self.sigma / self.num_pairs
+
+
+# --------------------------------------------------------------- injectors
+
+
+def drop_shortcut_edges(
+    edges: Sequence[NodePair], severity: float, seed: SeedLike = None
+) -> Tuple[List[NodePair], List[NodePair]]:
+    """Disable ``round(severity * len(edges))`` shortcut edges uniformly.
+
+    Returns ``(kept, dropped)``, both preserving the input order.
+    """
+    check_probability(severity, "severity")
+    edges = list(edges)
+    count = round(severity * len(edges))
+    rng = ensure_rng(seed)
+    dropped_idx = set(rng.sample(range(len(edges)), count))
+    kept = [e for i, e in enumerate(edges) if i not in dropped_idx]
+    dropped = [e for i, e in enumerate(edges) if i in dropped_idx]
+    return kept, dropped
+
+
+def drift_failure_probabilities(
+    graph: WirelessGraph, severity: float, *, max_drift: float = 4.0
+) -> WirelessGraph:
+    """Copy of *graph* with every link's failure probability inflated.
+
+    Each edge's probability is multiplied by
+    ``1 + severity * (max_drift - 1)`` — severity 0 is the original graph,
+    severity 1 multiplies every failure probability by *max_drift* — and
+    clamped just below 1 so derived lengths stay finite. Node order (and
+    therefore dense indices) is preserved.
+    """
+    check_probability(severity, "severity")
+    check_nonnegative(max_drift, "max_drift")
+    if max_drift < 1.0:
+        raise ValidationError(
+            f"max_drift must be >= 1, got {max_drift!r}"
+        )
+    factor = 1.0 + severity * (max_drift - 1.0)
+    drifted = WirelessGraph()
+    drifted.add_nodes(graph.nodes)
+    for u, v, length in graph.edges:
+        p = min(length_to_failure(length) * factor, MAX_FAILURE_PROBABILITY)
+        drifted.add_edge(u, v, failure_probability=p)
+    return drifted
+
+
+def remove_random_nodes(
+    graph: WirelessGraph,
+    severity: float,
+    seed: SeedLike = None,
+    *,
+    protected: Sequence[Node] = (),
+) -> Tuple[WirelessGraph, Set[Node]]:
+    """Copy of *graph* with ``round(severity * candidates)`` nodes removed
+    (with their incident edges).
+
+    *protected* nodes are never removed. Returns ``(survivor, lost)``;
+    surviving nodes keep their relative insertion order (indices shift).
+    """
+    check_probability(severity, "severity")
+    protected_set = set(protected)
+    candidates = [v for v in graph.nodes if v not in protected_set]
+    count = round(severity * len(candidates))
+    rng = ensure_rng(seed)
+    lost = set(rng.sample(candidates, count))
+    survivor = WirelessGraph()
+    survivor.add_nodes(v for v in graph.nodes if v not in lost)
+    for u, v, length in graph.edges:
+        if u not in lost and v not in lost:
+            survivor.add_edge(u, v, length=length)
+    return survivor, lost
+
+
+# ----------------------------------------------------------------- harness
+
+
+class FaultInjectionHarness:
+    """Measure graceful degradation of a solved placement under faults.
+
+    Args:
+        instance: the solved MSC instance.
+        shortcuts: the placement's shortcut edges, as node pairs.
+        trials: Monte Carlo delivery trials per scenario.
+        strategy: delivery forwarding strategy (see
+            :data:`repro.sim.delivery.STRATEGIES`).
+        seed: base seed; each ``(mode, severity)`` cell derives its own
+            stream from ``(seed, mode, severity)``, so cells are
+            order-independent and safe to fan out.
+    """
+
+    def __init__(
+        self,
+        instance: MSCInstance,
+        shortcuts: Sequence[NodePair],
+        *,
+        trials: int = 200,
+        strategy: str = "best_path",
+        seed: SeedLike = None,
+    ) -> None:
+        self.instance = instance
+        self.shortcuts = list(shortcuts)
+        self.trials = check_positive_int(trials, "trials")
+        self.strategy = strategy
+        self._seed_text = repr(seed)
+
+    def _cell_rng(self, mode: str, severity: float):
+        return ensure_rng((self._seed_text, "inject", mode, severity))
+
+    def run(self, mode: str, severity: float) -> InjectionOutcome:
+        """Inject one ``(mode, severity)`` fault and measure degradation."""
+        if mode == "shortcut_outage":
+            return self._run_shortcut_outage(severity)
+        if mode == "probability_drift":
+            return self._run_probability_drift(severity)
+        if mode == "node_loss":
+            return self._run_node_loss(severity)
+        raise ValidationError(
+            f"unknown fault mode {mode!r}; available: {', '.join(MODES)}"
+        )
+
+    def sweep(
+        self, mode: str, severities: Sequence[float]
+    ) -> List[InjectionOutcome]:
+        """Degradation profile of *mode* across *severities*."""
+        return [self.run(mode, severity) for severity in severities]
+
+    # ------------------------------------------------------------ per-mode
+
+    def _measure(
+        self,
+        graph: WirelessGraph,
+        pairs: Sequence[NodePair],
+        shortcuts: Sequence[NodePair],
+        mode: str,
+        severity: float,
+        *,
+        dropped_shortcuts: int = 0,
+        lost_nodes: int = 0,
+    ) -> InjectionOutcome:
+        """σ + simulated delivery of a perturbed ``(graph, shortcuts)``.
+
+        *pairs* are the surviving pairs for σ; delivery always simulates
+        the instance's full original pair list (lost pairs never deliver).
+        """
+        sigma = self._sigma(graph, pairs, shortcuts)
+        simulator = DeliverySimulator(graph, shortcuts)
+        report = simulator.simulate(
+            self.instance.pairs,
+            strategy=self.strategy,
+            trials=self.trials,
+            seed=(self._seed_text, "delivery", mode, severity),
+        )
+        return InjectionOutcome(
+            mode=mode,
+            severity=float(severity),
+            sigma=sigma,
+            num_pairs=self.instance.m,
+            delivery_rate=report.mean_rate,
+            pairs_meeting_requirement=report.meeting_requirement(
+                self.instance.p_threshold
+            ),
+            dropped_shortcuts=dropped_shortcuts,
+            lost_nodes=lost_nodes,
+        )
+
+    def _sigma(
+        self,
+        graph: WirelessGraph,
+        pairs: Sequence[NodePair],
+        shortcuts: Sequence[NodePair],
+    ) -> int:
+        """σ over a (possibly perturbed) graph; degenerate pair sets are
+        fine — the count is simply 0."""
+        if graph is self.instance.graph:
+            scenario = self.instance
+        else:
+            scenario = MSCInstance(
+                graph,
+                pairs,
+                self.instance.k,
+                d_threshold=self.instance.d_threshold,
+                require_initially_unsatisfied=False,
+                allow_degenerate=True,
+            )
+        evaluator = SigmaEvaluator(scenario)
+        index_pairs = [
+            normalize_index_pair(
+                graph.node_index(u), graph.node_index(v)
+            )
+            for u, v in shortcuts
+        ]
+        return int(evaluator.value(index_pairs))
+
+    def _run_shortcut_outage(self, severity: float) -> InjectionOutcome:
+        kept, dropped = drop_shortcut_edges(
+            self.shortcuts,
+            severity,
+            self._cell_rng("shortcut_outage", severity),
+        )
+        return self._measure(
+            self.instance.graph,
+            self.instance.pairs,
+            kept,
+            "shortcut_outage",
+            severity,
+            dropped_shortcuts=len(dropped),
+        )
+
+    def _run_probability_drift(self, severity: float) -> InjectionOutcome:
+        drifted = drift_failure_probabilities(self.instance.graph, severity)
+        return self._measure(
+            drifted,
+            self.instance.pairs,
+            self.shortcuts,
+            "probability_drift",
+            severity,
+        )
+
+    def _run_node_loss(self, severity: float) -> InjectionOutcome:
+        survivor, lost = remove_random_nodes(
+            self.instance.graph,
+            severity,
+            self._cell_rng("node_loss", severity),
+        )
+        surviving_pairs = [
+            (u, w)
+            for u, w in self.instance.pairs
+            if u not in lost and w not in lost
+        ]
+        surviving_shortcuts = [
+            (u, v)
+            for u, v in self.shortcuts
+            if u not in lost and v not in lost
+        ]
+        return self._measure(
+            survivor,
+            surviving_pairs,
+            surviving_shortcuts,
+            "node_loss",
+            severity,
+            dropped_shortcuts=len(self.shortcuts)
+            - len(surviving_shortcuts),
+            lost_nodes=len(lost),
+        )

@@ -146,15 +146,16 @@ class DeliverySimulator:
             )
         rng = ensure_rng(seed)
         routes = self._routes(pairs, strategy, multipath_k)
+        pair_indices = self._pair_indices(pairs)
         successes = [0] * len(pairs)
         for _ in range(trials):
             failed = sample_failed_edges(self.graph, rng)
             if strategy == "flooding":
                 reachable = _component_labels(self.graph, failed)
-                for i, (u, w) in enumerate(pairs):
-                    iu = self.graph.node_index(u)
-                    iw = self.graph.node_index(w)
-                    if reachable[iu] == reachable[iw]:
+                for i, indices in enumerate(pair_indices):
+                    if indices is None:
+                        continue
+                    if reachable[indices[0]] == reachable[indices[1]]:
                         successes[i] += 1
             else:
                 for i, pair_routes in enumerate(routes):
@@ -183,6 +184,22 @@ class DeliverySimulator:
                 )
             )
         return report
+
+    def _pair_indices(
+        self, pairs: Sequence[NodePair]
+    ) -> List[Optional[Tuple[int, int]]]:
+        """Dense index per pair; ``None`` when an endpoint is not in the
+        graph (a pair that lost a node under fault injection never
+        delivers, but must not abort everyone else's simulation)."""
+        indices: List[Optional[Tuple[int, int]]] = []
+        for u, w in pairs:
+            try:
+                indices.append(
+                    (self.graph.node_index(u), self.graph.node_index(w))
+                )
+            except GraphError:
+                indices.append(None)
+        return indices
 
     def _routes(
         self,

@@ -1,0 +1,200 @@
+"""Retry, backoff and timeout primitives for fault-tolerant execution.
+
+The experiment layer fans independent tasks across worker processes; a
+crashed or hung worker must not take the campaign down with it. This module
+provides the building blocks the hardened fan-out
+(:func:`repro.experiments.parallel.fanout`) is assembled from:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  **deterministic** jitter. The jitter for attempt ``a`` of task ``key`` is
+  drawn from an RNG derived via :func:`~repro.util.rng.ensure_rng` /
+  :func:`~repro.util.rng.spawn_rng` from ``(key, a)`` alone, so two runs of
+  the same campaign back off identically — reproducibility extends to the
+  failure path.
+* :func:`retry_call` — run a callable under a policy, wrapping the final
+  failure in :class:`~repro.exceptions.TaskError` with the task identity,
+  attempt count and original traceback.
+* :func:`call_with_timeout` — bound a single call's wall-clock. The callable
+  runs on a daemon thread; on timeout a
+  :class:`~repro.exceptions.TaskTimeoutError` is raised and the thread is
+  abandoned (it cannot be killed — process-level timeouts, where the worker
+  *can* be killed, are handled by the process fan-out).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
+
+from repro.exceptions import TaskError, TaskTimeoutError, ValidationError
+from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.validation import (
+    check_nonnegative,
+    check_positive_int,
+    check_probability,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry schedule with exponential backoff and deterministic
+    jitter.
+
+    Attributes:
+        attempts: total attempts per task (1 = no retry).
+        base_delay: delay before the first retry, seconds.
+        factor: multiplicative backoff per further retry.
+        max_delay: cap on the un-jittered delay.
+        jitter: fraction of the delay randomized symmetrically around it
+            (0.25 means the actual delay is within ±25% of nominal). The
+            randomness is a pure function of ``(key, attempt)``, never of
+            shared mutable state.
+    """
+
+    attempts: int = 1
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.attempts, "attempts")
+        check_nonnegative(self.base_delay, "base_delay")
+        if self.factor < 1.0:
+            raise ValidationError(
+                f"factor must be >= 1, got {self.factor!r}"
+            )
+        check_nonnegative(self.max_delay, "max_delay")
+        check_probability(self.jitter, "jitter")
+
+    def delay(self, attempt: int, key: Any = None) -> float:
+        """Backoff delay after failed attempt number *attempt* (1-based)."""
+        check_positive_int(attempt, "attempt")
+        nominal = min(
+            self.base_delay * self.factor ** (attempt - 1), self.max_delay
+        )
+        if self.jitter == 0.0 or nominal == 0.0:
+            return nominal
+        # Deterministic jitter: derive a child stream from (key, attempt)
+        # alone so the schedule is reproducible across runs and processes.
+        rng = spawn_rng(ensure_rng((repr(key), attempt)), "retry-jitter")
+        return nominal * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+    def delays(self, key: Any = None) -> Iterator[float]:
+        """The full backoff schedule (one delay per possible retry)."""
+        for attempt in range(1, self.attempts):
+            yield self.delay(attempt, key)
+
+
+#: Policy used when callers ask for "n retries" without tuning knobs.
+def policy_for_retries(retries: int) -> RetryPolicy:
+    """A :class:`RetryPolicy` granting *retries* extra attempts."""
+    if retries < 0:
+        raise ValidationError(f"retries must be >= 0, got {retries!r}")
+    return RetryPolicy(attempts=retries + 1)
+
+
+def call_with_timeout(
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    kwargs: Optional[dict] = None,
+    timeout: Optional[float] = None,
+    *,
+    task: Any = None,
+) -> Any:
+    """Run ``fn(*args, **kwargs)``, raising :class:`TaskTimeoutError` if it
+    does not finish within *timeout* seconds.
+
+    The call runs on a daemon thread; a timed-out call keeps running in the
+    background until the interpreter exits (threads cannot be killed).
+    Callers that need the hung work actually reclaimed should run tasks in
+    worker *processes* (see ``fanout``), where a hung worker is terminated.
+    """
+    if timeout is None:
+        return fn(*args, **(kwargs or {}))
+    check_nonnegative(float(timeout), "timeout")
+
+    outcome: list = []
+
+    def _run() -> None:
+        try:
+            outcome.append((True, fn(*args, **(kwargs or {}))))
+        except BaseException as exc:  # delivered to the caller below
+            outcome.append((False, exc))
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise TaskTimeoutError(
+            f"task {task!r} exceeded its {timeout}s timeout",
+            task=task,
+            attempts=1,
+        )
+    ok, payload = outcome[0]
+    if ok:
+        return payload
+    raise payload
+
+
+def retry_call(
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    kwargs: Optional[dict] = None,
+    *,
+    policy: Optional[RetryPolicy] = None,
+    key: Any = None,
+    timeout: Optional[float] = None,
+    retry_on: Tuple[type, ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_failure: Optional[Callable[[int, BaseException], None]] = None,
+) -> Any:
+    """Run ``fn(*args, **kwargs)`` under *policy*, retrying failures.
+
+    Args:
+        policy: retry schedule (default: a single attempt).
+        key: task identity — reported in the terminal
+            :class:`~repro.exceptions.TaskError` and mixed into the
+            deterministic jitter.
+        timeout: optional per-attempt wall-clock bound (thread-based; see
+            :func:`call_with_timeout`).
+        retry_on: exception types that consume an attempt; anything else
+            propagates immediately.
+        sleep: injectable sleep for tests.
+        on_failure: observer called with ``(attempt, exception)`` after
+            each failed attempt.
+
+    Raises:
+        TaskError: when every attempt failed; carries *key*, the attempt
+            count and the last traceback. :class:`TaskTimeoutError` (a
+            subclass) when the last failure was a timeout.
+    """
+    policy = policy or RetryPolicy()
+    last_traceback = None
+    last_exc: Optional[BaseException] = None
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            return call_with_timeout(
+                fn, args, kwargs, timeout, task=key
+            )
+        except retry_on as exc:
+            last_exc = exc
+            last_traceback = traceback.format_exc()
+            if on_failure is not None:
+                on_failure(attempt, exc)
+            if attempt < policy.attempts:
+                sleep(policy.delay(attempt, key))
+    error_cls = (
+        TaskTimeoutError if isinstance(last_exc, TaskTimeoutError)
+        else TaskError
+    )
+    raise error_cls(
+        f"task {key!r} failed after {policy.attempts} attempt(s): "
+        f"{last_exc!r}",
+        task=key,
+        attempts=policy.attempts,
+        cause_traceback=last_traceback,
+    ) from last_exc

@@ -3,16 +3,29 @@
 Results are plain dictionaries of primitives, lists and tuples; tuples are
 converted to lists on write and restored by the reader only as lists (JSON has
 no tuple type), so code that round-trips results should not rely on tupleness.
+
+All writes are **atomic**: the payload goes to a temporary file in the target
+directory and is moved into place with :func:`os.replace`, so a reader (or a
+concurrent ``--jobs`` worker, or a process killed mid-write) can never observe
+a truncated file — it sees either the old content or the new, complete one.
+:class:`TaskJournal` builds on that to checkpoint completed tasks of a
+long-running campaign crash-safely.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Iterator, Tuple, Union
 
 PathLike = Union[str, Path]
+
+#: Suffix of in-flight temporary files; readers skip them.
+TMP_SUFFIX = ".tmp"
 
 
 def _default(obj: Any) -> Any:
@@ -24,16 +37,99 @@ def _default(obj: Any) -> Any:
 
 
 def dump_json(data: Any, path: PathLike, indent: int = 2) -> None:
-    """Write *data* to *path* as pretty-printed JSON, creating parents."""
+    """Write *data* to *path* as pretty-printed JSON, creating parents.
+
+    The write is atomic (temp file + :func:`os.replace` in the same
+    directory): concurrent readers and killed writers never see a partial
+    file.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(
+    payload = (
         json.dumps(data, indent=indent, sort_keys=True, default=_default)
-        + "\n",
-        encoding="utf-8",
+        + "\n"
     )
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=TMP_SUFFIX
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_json(path: PathLike) -> Any:
     """Read JSON from *path*."""
     return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def canonical_key(key: Any) -> str:
+    """Canonical JSON text of a task key (tuples and lists coincide)."""
+    return json.dumps(key, sort_keys=True, default=_default)
+
+
+class TaskJournal:
+    """Crash-safe directory journal of ``key -> payload`` records.
+
+    One JSON file per completed task, written atomically, so a campaign
+    killed at any instant leaves only complete records behind; a resumed
+    run skips exactly the tasks whose records exist. Keys are arbitrary
+    JSON-serializable values compared by their canonical JSON text (so the
+    tuple ``("fig1", "quick", 1)`` and the list form round-tripped through
+    JSON are the same key).
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: Any) -> Path:
+        digest = hashlib.sha256(
+            canonical_key(key).encode("utf-8")
+        ).hexdigest()[:32]
+        return self.directory / f"task-{digest}.json"
+
+    def has(self, key: Any) -> bool:
+        return self._path(key).exists()
+
+    def put(self, key: Any, payload: Any) -> None:
+        """Record *payload* for *key* (atomic; overwrites silently)."""
+        dump_json({"key": key, "payload": payload}, self._path(key))
+
+    def load(self, key: Any) -> Any:
+        """Payload recorded for *key*.
+
+        Raises:
+            KeyError: when no (readable, complete) record exists. A
+                corrupt record — possible only if written by something
+                other than :meth:`put` — is treated as missing.
+        """
+        path = self._path(key)
+        try:
+            record = load_json(path)
+            if canonical_key(record["key"]) != canonical_key(key):
+                raise KeyError(key)  # hash collision or foreign file
+            return record["payload"]
+        except FileNotFoundError:
+            raise KeyError(key) from None
+        except (json.JSONDecodeError, TypeError, KeyError):
+            raise KeyError(key) from None
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All complete ``(key, payload)`` records, unordered; corrupt or
+        in-flight files are skipped."""
+        for path in sorted(self.directory.glob("task-*.json")):
+            try:
+                record = load_json(path)
+                yield record["key"], record["payload"]
+            except (json.JSONDecodeError, TypeError, KeyError, OSError):
+                continue
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())

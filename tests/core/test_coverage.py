@@ -88,7 +88,12 @@ class TestValidation:
 
     def test_invalid_k(self):
         with pytest.raises(Exception):
-            greedy_max_coverage(np.zeros((2, 3), bool), 0)
+            greedy_max_coverage(np.zeros((2, 3), bool), -1)
+
+    def test_zero_k_selects_nothing(self):
+        result = greedy_max_coverage(np.zeros((2, 3), bool), 0)
+        assert result.selected == []
+        assert result.weight == 0.0
 
 
 class TestApproximationGuarantee:

@@ -1,0 +1,161 @@
+"""Degenerate-instance behavior: every registered solver must return a
+well-formed PlacementResult on disconnected graphs, pairs already within
+d_t, a zero budget, and an empty pair set (the shapes fault injection
+produces), instead of crashing."""
+
+import pytest
+
+from repro.core.problem import MSCInstance
+from repro.core.registry import solver_names, solve
+from repro.exceptions import InstanceError, ValidationError
+from repro.types import PlacementResult
+from tests.conftest import path_graph, star_graph
+
+#: Cheap parameters per solver so the full matrix stays fast.
+FAST_PARAMS = {
+    "ea": {"iterations": 5},
+    "aea": {"iterations": 5},
+    "aea+warm": {"iterations": 5},
+    "random": {"trials": 5},
+}
+
+
+def _solve(name, instance):
+    return solve(name, instance, seed=1, **FAST_PARAMS.get(name, {}))
+
+
+def _star_pairs(n_leaves):
+    """Center-to-leaf pairs: every pair shares node 0, so even the MSC-CN
+    solvers accept the instance."""
+    return [(0, leaf) for leaf in range(1, n_leaves + 1)]
+
+
+@pytest.fixture
+def disconnected_instance():
+    """Star plus an isolated node; one pair is unreachable forever."""
+    graph = star_graph(3, length=2.0)
+    graph.add_node("island")
+    pairs = _star_pairs(3) + [(0, "island")]
+    return MSCInstance(
+        graph, pairs, 2, d_threshold=1.0,
+        require_initially_unsatisfied=False,
+    )
+
+
+@pytest.fixture
+def zero_budget_instance():
+    graph = star_graph(3, length=2.0)
+    return MSCInstance(
+        graph, _star_pairs(3), 0, d_threshold=1.0,
+        require_initially_unsatisfied=False,
+        allow_degenerate=True,
+    )
+
+
+@pytest.fixture
+def empty_pairs_instance():
+    graph = star_graph(3, length=2.0)
+    return MSCInstance(
+        graph, [], 2, d_threshold=1.0, allow_degenerate=True
+    )
+
+
+@pytest.fixture
+def already_satisfied_instance():
+    graph = star_graph(3, length=0.2)
+    return MSCInstance(
+        graph, _star_pairs(3), 2, d_threshold=1.0,
+        require_initially_unsatisfied=False,
+    )
+
+
+class TestAllowDegenerateFlag:
+    def test_defaults_stay_strict(self):
+        graph = star_graph(3, length=2.0)
+        with pytest.raises(ValidationError):
+            MSCInstance(graph, _star_pairs(3), 0, d_threshold=1.0)
+        with pytest.raises(InstanceError):
+            MSCInstance(graph, [], 2, d_threshold=1.0)
+
+    def test_flag_admits_k_zero_and_empty_pairs(self):
+        graph = star_graph(3, length=2.0)
+        inst = MSCInstance(
+            graph, [], 0, d_threshold=1.0, allow_degenerate=True
+        )
+        assert inst.k == 0
+        assert inst.m == 0
+        assert inst.common_node() is None
+        assert inst.pair_nodes() == []
+
+    def test_flag_still_rejects_negative_budget(self):
+        graph = star_graph(3, length=2.0)
+        with pytest.raises(Exception):
+            MSCInstance(
+                graph, [], -1, d_threshold=1.0, allow_degenerate=True
+            )
+
+
+@pytest.mark.parametrize("name", sorted(solver_names()))
+class TestSolversOnDegenerateInstances:
+    def _check_well_formed(self, result, instance):
+        assert isinstance(result, PlacementResult)
+        assert len(result.edges) <= instance.k
+        assert 0 <= result.sigma <= instance.m
+        assert len(result.satisfied) in (0, instance.m)
+        assert result.sigma == sum(result.satisfied) or not result.satisfied
+
+    def test_disconnected_graph(self, name, disconnected_instance):
+        result = _solve(name, disconnected_instance)
+        self._check_well_formed(result, disconnected_instance)
+        # The island pair can never be satisfied by shortcut placement on
+        # reachable candidates... but a shortcut straight to the island can
+        # rescue it, so only the range is asserted.
+        assert result.sigma <= disconnected_instance.m
+
+    def test_zero_budget(self, name, zero_budget_instance):
+        result = _solve(name, zero_budget_instance)
+        self._check_well_formed(result, zero_budget_instance)
+        assert result.edges == []
+        assert result.sigma == 0  # all pairs start unsatisfied
+
+    def test_empty_pairs(self, name, empty_pairs_instance):
+        result = _solve(name, empty_pairs_instance)
+        assert isinstance(result, PlacementResult)
+        assert result.sigma == 0
+        assert result.satisfied == []
+
+    def test_pairs_already_within_threshold(
+        self, name, already_satisfied_instance
+    ):
+        result = _solve(name, already_satisfied_instance)
+        self._check_well_formed(result, already_satisfied_instance)
+        assert result.sigma == already_satisfied_instance.m
+
+
+class TestPrimitivesAcceptZeroBudget:
+    def test_greedy_placement_k_zero(self, tiny_instance):
+        from repro.core.evaluator import SigmaEvaluator
+        from repro.core.greedy import greedy_placement
+
+        assert greedy_placement(SigmaEvaluator(tiny_instance), 0) == []
+
+    def test_lazy_greedy_k_zero(self, tiny_instance):
+        from repro.core.bounds import MuFunction
+        from repro.core.lazy_greedy import lazy_greedy_placement
+
+        placed, evaluations = lazy_greedy_placement(
+            MuFunction(tiny_instance), 0
+        )
+        assert placed == []
+        assert evaluations == 0
+
+    def test_greedy_max_coverage_k_zero(self):
+        import numpy as np
+
+        from repro.core.coverage import greedy_max_coverage
+
+        result = greedy_max_coverage(
+            np.ones((3, 4), dtype=bool), 0
+        )
+        assert result.selected == []
+        assert result.weight == 0.0

@@ -87,7 +87,11 @@ class TestGreedyMechanics:
     def test_invalid_budget(self):
         fn = _FixedFunction(3, {})
         with pytest.raises(Exception):
-            greedy_placement(fn, 0)
+            greedy_placement(fn, -1)
+
+    def test_zero_budget_places_nothing(self):
+        fn = _FixedFunction(3, {(0, 1): 3.0})
+        assert greedy_placement(fn, 0) == []
 
 
 class TestGreedyOnRealObjectives:

@@ -75,4 +75,8 @@ class TestGuards:
     def test_invalid_budget(self, tiny_instance):
         nu = NuFunction(tiny_instance)
         with pytest.raises(Exception):
-            lazy_greedy_placement(nu, 0)
+            lazy_greedy_placement(nu, -1)
+
+    def test_zero_budget_places_nothing(self, tiny_instance):
+        nu = NuFunction(tiny_instance)
+        assert lazy_greedy_placement(nu, 0) == ([], 0)

@@ -23,7 +23,7 @@ class TestRegistry:
             "ablation_sandwich", "ablation_aea", "ablation_ea",
             "ablation_warmstart",
             "msc_cn", "delivery", "prediction", "generality",
-            "replanning",
+            "replanning", "robustness",
         }
 
     def test_lookup_finds_supplementary(self):

@@ -1,0 +1,233 @@
+"""Tests for repro.failure.injection: the injectors, the harness, and the
+robustness experiment built on top of them."""
+
+import math
+
+import pytest
+
+from repro.core.problem import MSCInstance
+from repro.core.sandwich import SandwichApproximation
+from repro.exceptions import ValidationError
+from repro.failure.injection import (
+    MODES,
+    FaultInjectionHarness,
+    InjectionOutcome,
+    drift_failure_probabilities,
+    drop_shortcut_edges,
+    remove_random_nodes,
+)
+from repro.failure.models import MAX_FAILURE_PROBABILITY, length_to_failure
+from tests.conftest import path_graph
+
+
+@pytest.fixture
+def solved():
+    """A small solved instance: path 0..4, end pairs out of range."""
+    graph = path_graph([1.0, 1.0, 1.0, 1.0])
+    instance = MSCInstance(
+        graph, [(0, 4), (0, 3), (1, 4)], k=2, d_threshold=1.5
+    )
+    placement = SandwichApproximation(instance).solve()
+    return instance, placement
+
+
+class TestDropShortcutEdges:
+    def test_zero_severity_drops_nothing(self):
+        kept, dropped = drop_shortcut_edges([(0, 1), (2, 3)], 0.0, seed=1)
+        assert kept == [(0, 1), (2, 3)]
+        assert dropped == []
+
+    def test_full_severity_drops_everything(self):
+        kept, dropped = drop_shortcut_edges([(0, 1), (2, 3)], 1.0, seed=1)
+        assert kept == []
+        assert sorted(dropped) == [(0, 1), (2, 3)]
+
+    def test_partial_severity_preserves_order(self):
+        edges = [(i, i + 1) for i in range(10)]
+        kept, dropped = drop_shortcut_edges(edges, 0.5, seed=7)
+        assert len(dropped) == 5
+        assert kept == [e for e in edges if e not in set(dropped)]
+
+    def test_deterministic_under_same_seed(self):
+        edges = [(i, i + 1) for i in range(10)]
+        a = drop_shortcut_edges(edges, 0.3, seed=42)
+        b = drop_shortcut_edges(edges, 0.3, seed=42)
+        assert a == b
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValidationError):
+            drop_shortcut_edges([(0, 1)], 1.5)
+
+
+class TestDriftFailureProbabilities:
+    def test_zero_severity_is_identity(self):
+        graph = path_graph([0.5, 0.2])
+        drifted = drift_failure_probabilities(graph, 0.0)
+        assert list(drifted.edges) == list(graph.edges)
+
+    def test_probabilities_scale_and_clamp(self):
+        graph = path_graph([0.5, 3.0])
+        drifted = drift_failure_probabilities(graph, 1.0, max_drift=4.0)
+        for (_u, _v, orig), (_a, _b, new) in zip(
+            graph.edges, drifted.edges
+        ):
+            p_orig = length_to_failure(orig)
+            p_new = length_to_failure(new)
+            expected = min(p_orig * 4.0, MAX_FAILURE_PROBABILITY)
+            assert math.isclose(p_new, expected, rel_tol=1e-9)
+            assert new >= orig
+
+    def test_node_order_preserved(self):
+        graph = path_graph([1.0, 1.0])
+        drifted = drift_failure_probabilities(graph, 0.5)
+        assert list(drifted.nodes) == list(graph.nodes)
+
+    def test_max_drift_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            drift_failure_probabilities(path_graph([1.0]), 0.5, max_drift=0.5)
+
+
+class TestRemoveRandomNodes:
+    def test_zero_severity_removes_nothing(self):
+        graph = path_graph([1.0, 1.0, 1.0])
+        survivor, lost = remove_random_nodes(graph, 0.0, seed=1)
+        assert lost == set()
+        assert list(survivor.nodes) == list(graph.nodes)
+        assert survivor.number_of_edges() == graph.number_of_edges()
+
+    def test_full_severity_removes_all_unprotected(self):
+        graph = path_graph([1.0, 1.0, 1.0])
+        survivor, lost = remove_random_nodes(graph, 1.0, seed=1)
+        assert lost == set(graph.nodes)
+        assert survivor.number_of_nodes() == 0
+
+    def test_protected_nodes_survive(self):
+        graph = path_graph([1.0, 1.0, 1.0])
+        survivor, lost = remove_random_nodes(
+            graph, 1.0, seed=1, protected=[0, 2]
+        )
+        assert lost == {1, 3}
+        assert set(survivor.nodes) == {0, 2}
+
+    def test_incident_edges_removed_with_nodes(self):
+        graph = path_graph([1.0, 1.0, 1.0])
+        survivor, lost = remove_random_nodes(graph, 0.5, seed=3)
+        for u, v, _length in survivor.edges:
+            assert u not in lost and v not in lost
+
+    def test_deterministic_under_same_seed(self):
+        graph = path_graph([1.0] * 9)
+        _a, lost_a = remove_random_nodes(graph, 0.4, seed=5)
+        _b, lost_b = remove_random_nodes(graph, 0.4, seed=5)
+        assert lost_a == lost_b
+
+
+class TestFaultInjectionHarness:
+    def test_unknown_mode_rejected(self, solved):
+        instance, placement = solved
+        harness = FaultInjectionHarness(
+            instance, placement.edges, trials=20, seed=1
+        )
+        with pytest.raises(ValidationError):
+            harness.run("meteor_strike", 0.5)
+
+    def test_zero_severity_reproduces_placement(self, solved):
+        instance, placement = solved
+        harness = FaultInjectionHarness(
+            instance, placement.edges, trials=20, seed=1
+        )
+        for mode in MODES:
+            outcome = harness.run(mode, 0.0)
+            assert outcome.sigma == placement.sigma
+            assert outcome.dropped_shortcuts == 0
+            assert outcome.lost_nodes == 0
+
+    def test_full_shortcut_outage_strips_placement(self, solved):
+        instance, placement = solved
+        harness = FaultInjectionHarness(
+            instance, placement.edges, trials=20, seed=1
+        )
+        outcome = harness.run("shortcut_outage", 1.0)
+        assert outcome.dropped_shortcuts == len(placement.edges)
+        # Without shortcuts no pair meets the requirement (they were
+        # selected as initially unsatisfied).
+        assert outcome.sigma == 0
+
+    def test_full_node_loss_is_survivable(self, solved):
+        """Severity-1 node loss leaves an empty network; the harness must
+        return a zeroed outcome, not crash."""
+        instance, placement = solved
+        harness = FaultInjectionHarness(
+            instance, placement.edges, trials=10, seed=1
+        )
+        outcome = harness.run("node_loss", 1.0)
+        assert outcome.lost_nodes == instance.n
+        assert outcome.sigma == 0
+        assert outcome.delivery_rate == 0.0
+
+    def test_runs_deterministic_and_order_independent(self, solved):
+        instance, placement = solved
+        kwargs = dict(trials=20, seed=9)
+        h1 = FaultInjectionHarness(instance, placement.edges, **kwargs)
+        h2 = FaultInjectionHarness(instance, placement.edges, **kwargs)
+        # Different call orders, same per-cell outcomes.
+        a = [h1.run("node_loss", 0.5), h1.run("shortcut_outage", 0.5)]
+        b = [h2.run("shortcut_outage", 0.5), h2.run("node_loss", 0.5)]
+        assert a[0] == b[1]
+        assert a[1] == b[0]
+
+    def test_sweep_covers_all_severities(self, solved):
+        instance, placement = solved
+        harness = FaultInjectionHarness(
+            instance, placement.edges, trials=10, seed=1
+        )
+        outcomes = harness.sweep("probability_drift", [0.0, 0.5, 1.0])
+        assert [o.severity for o in outcomes] == [0.0, 0.5, 1.0]
+        # Monotone mode: drifting probabilities can only hurt σ.
+        assert outcomes[0].sigma >= outcomes[-1].sigma
+
+    def test_sigma_fraction(self):
+        outcome = InjectionOutcome(
+            mode="node_loss", severity=1.0, sigma=3, num_pairs=4,
+            delivery_rate=0.5, pairs_meeting_requirement=2,
+        )
+        assert outcome.sigma_fraction == 0.75
+        empty = InjectionOutcome(
+            mode="node_loss", severity=1.0, sigma=0, num_pairs=0,
+            delivery_rate=0.0, pairs_meeting_requirement=0,
+        )
+        assert empty.sigma_fraction == 1.0
+
+
+class TestRobustnessExperiment:
+    def test_quick_scale_shape(self):
+        from repro.experiments.robustness_exp import run_robustness
+
+        result = run_robustness(scale="quick", seed=3)
+        assert result.name == "robustness"
+        assert len(result.tables) == 1
+        assert len(result.series) == 2
+        severities = result.series[0]["x"]
+        rows = result.tables[0]["rows"]
+        assert len(rows) == len(MODES) * len(severities)
+        # Severity 0 must reproduce the baseline in every mode.
+        baseline = result.params["baseline_sigma"]
+        for row in rows:
+            if row[1] == 0.0:
+                assert row[2] == baseline
+
+    def test_jobs_byte_identical(self):
+        from repro.experiments.robustness_exp import run_robustness
+
+        serial = run_robustness(scale="quick", seed=3, jobs=1)
+        parallel = run_robustness(scale="quick", seed=3, jobs=2)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_registered_as_supplementary(self):
+        from repro.experiments.runner import (
+            all_experiment_names,
+            experiment_names,
+        )
+
+        assert "robustness" in all_experiment_names()
+        assert "robustness" not in experiment_names()

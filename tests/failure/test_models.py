@@ -140,3 +140,26 @@ class TestExponentialDistance:
 
     def test_bounded_below_one(self):
         assert ExponentialDistanceFailure(1.0).failure_probability(1e6) < 1.0
+
+
+class TestNonFiniteInputs:
+    """NaN/inf must be rejected at the model boundary, not propagate into
+    distance matrices as silent poison."""
+
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), -float("inf")]
+    )
+    def test_failure_to_length_rejects_non_finite(self, value):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            failure_to_length(value)
+
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), -float("inf")]
+    )
+    def test_length_to_failure_rejects_non_finite(self, value):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            length_to_failure(value)

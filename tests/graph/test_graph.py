@@ -176,3 +176,30 @@ class TestConversion:
         g = WirelessGraph()
         g.add_edge(0, 1, length=1.0)
         assert "n=2" in repr(g) and "e=1" in repr(g)
+
+
+class TestNonFiniteEdgeInputs:
+    """NaN/inf edge attributes must be rejected at add_edge time — a single
+    non-finite length would poison every shortest-path distance downstream."""
+
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), -float("inf")]
+    )
+    def test_non_finite_failure_probability_rejected(self, value):
+        from repro.exceptions import ValidationError
+
+        graph = WirelessGraph()
+        graph.add_nodes([0, 1])
+        with pytest.raises(ValidationError):
+            graph.add_edge(0, 1, failure_probability=value)
+        assert graph.number_of_edges() == 0
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf")])
+    def test_non_finite_length_rejected(self, value):
+        from repro.exceptions import ValidationError
+
+        graph = WirelessGraph()
+        graph.add_nodes([0, 1])
+        with pytest.raises(ValidationError):
+            graph.add_edge(0, 1, length=value)
+        assert graph.number_of_edges() == 0

@@ -73,3 +73,90 @@ class TestMain:
     def test_unknown_experiment_raises(self):
         with pytest.raises(Exception):
             main(["run", "fig99", "--scale", "quick"])
+
+
+class TestFaultToleranceFlags:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "run", "all", "--resume", "ckpt", "--retries", "2",
+                "--task-timeout", "30.5",
+            ]
+        )
+        assert args.resume == "ckpt"
+        assert args.retries == 2
+        assert args.task_timeout == 30.5
+
+    def test_flags_default_off(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.resume is None
+        assert args.retries == 0
+        assert args.task_timeout is None
+
+    def test_resume_checkpoints_and_restores(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        first = main(
+            [
+                "run", "table1", "fig1", "--scale", "quick",
+                "--resume", str(ckpt),
+            ]
+        )
+        assert first == 0
+        assert len(list(ckpt.glob("task-*.json"))) == 2
+        capsys.readouterr()
+        second = main(
+            [
+                "run", "table1", "fig1", "--scale", "quick",
+                "--resume", str(ckpt),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert second == 0
+        assert "2 restored" in out
+
+    def test_resume_output_matches_plain_run(self, capsys, tmp_path):
+        plain_json = tmp_path / "plain.json"
+        resumed_json = tmp_path / "resumed.json"
+        main(
+            [
+                "run", "table1", "--scale", "quick",
+                "--json", str(plain_json),
+            ]
+        )
+        ckpt = tmp_path / "ckpt"
+        main(
+            [
+                "run", "table1", "--scale", "quick",
+                "--resume", str(ckpt), "--json", str(resumed_json),
+            ]
+        )
+        capsys.readouterr()
+        assert plain_json.read_bytes() == resumed_json.read_bytes()
+
+
+class TestRobustnessCommand:
+    def test_parses(self):
+        args = build_parser().parse_args(
+            ["robustness", "--scale", "quick", "--seed", "4", "--jobs", "2"]
+        )
+        assert args.command == "robustness"
+        assert args.scale == "quick"
+        assert args.seed == 4
+        assert args.jobs == 2
+
+    def test_runs_and_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "robustness.json"
+        assert (
+            main(
+                [
+                    "robustness", "--scale", "quick", "--seed", "3",
+                    "--json", str(target),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "robustness finished in" in out
+        data = json.loads(target.read_text())
+        assert data[0]["name"] == "robustness"
+        assert data[0]["params"]["baseline_sigma"] >= 0

@@ -1,10 +1,18 @@
 """Tests for repro.util.serialization."""
 
 import dataclasses
+import json
+import os
 
 import pytest
 
-from repro.util.serialization import dump_json, load_json
+from repro.util.serialization import (
+    TMP_SUFFIX,
+    TaskJournal,
+    canonical_key,
+    dump_json,
+    load_json,
+)
 
 
 class TestRoundTrip:
@@ -44,3 +52,107 @@ class TestRoundTrip:
         text = path.read_text()
         assert text.endswith("\n")
         assert text.index('"a"') < text.index('"b"')
+
+
+class TestAtomicWrite:
+    def test_failed_write_preserves_old_content(self, tmp_path):
+        """A serialization error mid-write must leave the previous file
+        untouched — the atomicity contract checkpointing relies on."""
+        path = tmp_path / "out.json"
+        dump_json({"v": 1}, path)
+        with pytest.raises(TypeError):
+            dump_json({"v": 2, "bad": object()}, path)
+        assert load_json(path) == {"v": 1}
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "out.json"
+        dump_json({"v": 1}, path)
+        with pytest.raises(TypeError):
+            dump_json({"bad": object()}, path)
+        leftovers = [
+            p for p in os.listdir(tmp_path) if p.endswith(TMP_SUFFIX)
+        ]
+        assert leftovers == []
+
+    def test_overwrite_replaces_completely(self, tmp_path):
+        path = tmp_path / "out.json"
+        dump_json({"long": "x" * 10_000}, path)
+        dump_json({"v": 2}, path)
+        assert load_json(path) == {"v": 2}
+
+
+class TestCanonicalKey:
+    def test_tuple_and_list_coincide(self):
+        assert canonical_key(("fig1", "quick", 1)) == canonical_key(
+            ["fig1", "quick", 1]
+        )
+
+    def test_dict_order_insensitive(self):
+        assert canonical_key({"a": 1, "b": 2}) == canonical_key(
+            {"b": 2, "a": 1}
+        )
+
+
+class TestTaskJournal:
+    def test_round_trip(self, tmp_path):
+        journal = TaskJournal(tmp_path / "ckpt")
+        key = ("fig1", "quick", 3)
+        journal.put(key, {"sigma": 7})
+        assert journal.has(key)
+        assert journal.load(key) == {"sigma": 7}
+        assert len(journal) == 1
+
+    def test_missing_key_raises(self, tmp_path):
+        journal = TaskJournal(tmp_path)
+        assert not journal.has("nope")
+        with pytest.raises(KeyError):
+            journal.load("nope")
+
+    def test_tuple_key_survives_json_round_trip(self, tmp_path):
+        """A key written as a tuple is found again after it has been
+        round-tripped through JSON (where it becomes a list)."""
+        journal = TaskJournal(tmp_path)
+        journal.put(("table1", "quick", 1), "payload")
+        assert journal.load(["table1", "quick", 1]) == "payload"
+
+    def test_corrupt_record_treated_as_missing(self, tmp_path):
+        journal = TaskJournal(tmp_path)
+        key = ("fig2", "quick", 1)
+        journal.put(key, "good")
+        path = journal._path(key)
+        path.write_text("{ truncated", encoding="utf-8")
+        with pytest.raises(KeyError):
+            journal.load(key)
+
+    def test_items_skips_corrupt_files(self, tmp_path):
+        journal = TaskJournal(tmp_path)
+        journal.put("a", 1)
+        journal.put("b", 2)
+        (tmp_path / "task-deadbeef.json").write_text("not json")
+        items = dict(
+            (canonical_key(k), v) for k, v in journal.items()
+        )
+        assert items == {'"a"': 1, '"b"': 2}
+        assert len(journal) == 2
+
+    def test_foreign_record_with_wrong_key_is_missing(self, tmp_path):
+        journal = TaskJournal(tmp_path)
+        path = journal._path("mine")
+        path.write_text(
+            json.dumps({"key": "theirs", "payload": 1}), encoding="utf-8"
+        )
+        with pytest.raises(KeyError):
+            journal.load("mine")
+
+    def test_put_is_idempotent_overwrite(self, tmp_path):
+        journal = TaskJournal(tmp_path)
+        journal.put("k", 1)
+        journal.put("k", 2)
+        assert journal.load("k") == 2
+        assert len(journal) == 1
+
+    def test_directory_created_on_demand(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "ckpt"
+        journal = TaskJournal(nested)
+        journal.put("k", 1)
+        assert nested.is_dir()
