@@ -1,0 +1,120 @@
+"""Benchmark-regression gate — compares a fresh run against the committed
+``BENCH_perf.json`` baseline.
+
+Raw wall-clock times are machine-dependent, so the gate compares the
+*relative* speedups measured on the same machine in the same process:
+
+* fig1 greedy path: the fast-vs-legacy speedup at the headline size and at
+  the quick size must not fall more than ``--tolerance`` (default 25%)
+  below the committed baseline's. A drop means the optimized path itself
+  regressed — both numbers divide out the machine.
+* ``--memory``: additionally runs the sparse-vs-dense oracle tier at
+  n=2000 and asserts the sparse peak stays within the memory budget
+  (≤ 25% of the dense peak for the same workload) with placements
+  identical to the dense tier.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        [--baseline BENCH_perf.json] [--tolerance 0.25] [--memory]
+
+Exit status 0 = no regression; 1 = regression (messages on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+try:
+    from benchmarks.perf_harness import (
+        bench_greedy_path,
+        bench_oracle_tiers,
+    )
+except ImportError:  # invoked as `python benchmarks/check_regression.py`
+    from perf_harness import bench_greedy_path, bench_oracle_tiers
+
+#: Memory-gate workload: n=2000 with p_t=0.03 keeps a comfortable margin
+#: below the 0.25 budget (the committed BENCH_perf.json carries the
+#: tighter p_t=0.04 point, which sits right at the budget).
+MEMORY_GATE_SIZES = [(2000, 0.03, 60, 5, True)]
+MEMORY_BUDGET_RATIO = 0.25
+
+
+def check_greedy_speedups(baseline: dict, tolerance: float) -> list:
+    """Compare fresh fig1 greedy-path speedups against *baseline*."""
+    failures = []
+    base = baseline["fig1_greedy_path"]
+    current = bench_greedy_path()
+    for label, key in (("headline", "speedup"), ("quick", "quick_speedup")):
+        base_speedup = float(base[key])
+        now_speedup = float(current[key])
+        floor = base_speedup * (1.0 - tolerance)
+        status = "ok" if now_speedup >= floor else "REGRESSION"
+        print(
+            f"fig1 {label} speedup: baseline {base_speedup:.3f}, "
+            f"current {now_speedup:.3f} (floor {floor:.3f}) [{status}]"
+        )
+        if now_speedup < floor:
+            failures.append(
+                f"fig1 {label} speedup {now_speedup:.3f} fell more than "
+                f"{tolerance:.0%} below baseline {base_speedup:.3f}"
+            )
+    return failures
+
+
+def check_memory_budget() -> list:
+    """Run the sparse-vs-dense tier and enforce the peak-memory budget."""
+    failures = []
+    entry = bench_oracle_tiers(sizes=MEMORY_GATE_SIZES)["sizes"][0]
+    ratio = float(entry["mem_ratio"])
+    status = "ok" if ratio <= MEMORY_BUDGET_RATIO else "REGRESSION"
+    print(
+        f"oracle tier n={entry['n']} p_t={entry['p_t']}: sparse peak "
+        f"{entry['sparse_peak_mb']}MB vs dense {entry['dense_peak_mb']}MB "
+        f"-> ratio {ratio:.3f} (budget {MEMORY_BUDGET_RATIO}) [{status}]"
+    )
+    if ratio > MEMORY_BUDGET_RATIO:
+        failures.append(
+            f"sparse peak is {ratio:.3f} of dense (budget "
+            f"{MEMORY_BUDGET_RATIO}) at n={entry['n']}"
+        )
+    if not entry.get("placements_identical"):
+        failures.append("sparse placements diverged from dense")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_perf.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative speedup drop before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="also enforce the sparse-tier peak-memory budget at n=2000",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    failures = check_greedy_speedups(baseline, args.tolerance)
+    if args.memory:
+        failures.extend(check_memory_budget())
+
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
+        return 1
+    print("no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

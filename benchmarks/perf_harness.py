@@ -26,13 +26,22 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import platform
+import resource
 import time
+import tracemalloc
 from datetime import datetime, timezone
 
-from repro.core.evaluator import SigmaEvaluator
+from repro.core.evaluator import (
+    CANDIDATE_RESTRICT_MIN_N,
+    ENGINE_CACHE_MIN_N,
+    PRUNED_SCAN_MIN_N,
+    SigmaEvaluator,
+)
 from repro.core.greedy import greedy_placement
+from repro.core.problem import MSCInstance, SPARSE_ORACLE_MIN_N
 from repro.experiments.parallel import fanout
 from repro.experiments.runner import (
     _timed_experiment_task,
@@ -40,12 +49,27 @@ from repro.experiments.runner import (
     run_all_timed,
 )
 from repro.experiments.workloads import rg_workload
+from repro.netgen.geometric import random_geometric_network
+from repro.netgen.pairs import sample_important_pairs
 
 #: (n, m, k) points of the fig1-style greedy-path benchmark. The first is
 #: the quick-scale fig1 configuration itself; the larger sizes are the same
 #: workload family scaled until kernel work dominates per-call overhead.
 GREEDY_SIZES = [(40, 8, 2), (100, 30, 3), (200, 60, 4), (300, 80, 5)]
 FIG1_QUICK_P = 0.08
+
+#: (n, p_t, m, k, compare_dense) points of the oracle-tier benchmark.
+#: The RG radius shrinks as 0.2 * sqrt(100 / n) so average degree stays
+#: roughly constant as n grows (the paper's RG family, scaled up). Dense
+#: comparison stops at n=3000 — beyond that the full APSP matrix alone
+#: (n² float64) is the point the sparse tier exists to avoid, so larger
+#: sizes run sparse-only against the *computed* dense footprint.
+ORACLE_TIER_SIZES = [
+    (2000, 0.04, 60, 5, True),
+    (2000, 0.03, 60, 5, True),
+    (3000, 0.03, 60, 5, True),
+    (5000, 0.03, 60, 5, False),
+]
 
 
 def _greedy_instance(n: int, m: int, k: int):
@@ -56,14 +80,18 @@ def _greedy_instance(n: int, m: int, k: int):
 def _time_greedy(evaluator, k: int, repeats: int):
     best = float("inf")
     placement = None
-    for _ in range(repeats):
+    # One untimed pass first: at the sub-millisecond sizes the first call
+    # pays one-off allocator/import costs that would otherwise dominate
+    # the min-of-repeats.
+    for timed in [False] + [True] * repeats:
         evaluator.engine_cache = type(evaluator.engine_cache)(
             evaluator.instance.oracle,
             evaluator.engine_cache._maxsize,
         )
         start = time.perf_counter()
         placement = greedy_placement(evaluator, k)
-        best = min(best, time.perf_counter() - start)
+        if timed:
+            best = min(best, time.perf_counter() - start)
     return best, placement
 
 
@@ -71,9 +99,16 @@ def bench_greedy_path() -> dict:
     sizes = []
     for n, m, k in GREEDY_SIZES:
         instance = _greedy_instance(n, m, k)
-        repeats = 5 if n <= 100 else 3
+        # Sub-millisecond sizes need many repeats before min-of-k stops
+        # reflecting scheduler jitter instead of the code path.
+        repeats = 300 if n <= 50 else (25 if n <= 100 else 3)
         fast = SigmaEvaluator(instance)
-        legacy = SigmaEvaluator(instance, pruned=False, engine_cache_size=0)
+        legacy = SigmaEvaluator(
+            instance,
+            pruned=False,
+            engine_cache_size=0,
+            restrict_candidates=False,
+        )
         fast_s, fast_placement = _time_greedy(fast, k, repeats)
         legacy_s, legacy_placement = _time_greedy(legacy, k, repeats)
         assert fast_placement == legacy_placement, (
@@ -102,6 +137,100 @@ def bench_greedy_path() -> dict:
         "quick_speedup": sizes[0]["speedup"],
         "n": headline["n"],
         "speedup": headline["speedup"],
+        # Below these sizes the corresponding optimization auto-disables
+        # (the quick_speedup guard: tiny instances must not regress).
+        "cutovers": {
+            "engine_cache_min_n": ENGINE_CACHE_MIN_N,
+            "candidate_restrict_min_n": CANDIDATE_RESTRICT_MIN_N,
+            "pruned_scan_min_n": PRUNED_SCAN_MIN_N,
+            "sparse_oracle_min_n": SPARSE_ORACLE_MIN_N,
+        },
+    }
+
+
+def _oracle_tier_workload(n: int, p_t: float, m: int):
+    radius = 0.2 * math.sqrt(100 / n)
+    network = random_geometric_network(
+        n, radius=radius, max_link_failure=0.08, seed=1
+    )
+    pairs = sample_important_pairs(
+        network.graph, m, p_t, seed=(1, "bench")
+    )
+    return network.graph, pairs
+
+
+def _run_tier(graph, pairs, k: int, p_t: float, oracle: str):
+    """One timed greedy solve; returns placement, seconds, tracemalloc
+    peak bytes, and the post-run ru_maxrss high-water (KiB)."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    instance = MSCInstance(
+        graph, pairs, k=k, p_threshold=p_t, oracle=oracle
+    )
+    evaluator = SigmaEvaluator(instance)
+    placement = greedy_placement(evaluator, k)
+    elapsed = time.perf_counter() - start
+    peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return placement, elapsed, peak, rss_kb
+
+
+def bench_oracle_tiers(sizes=None) -> dict:
+    """Sparse vs dense oracle tier on the scaled RG family.
+
+    The sparse tier must solve each size with the *identical* placement at
+    a fraction of the dense peak. ``ru_maxrss`` is a process-wide
+    high-water mark (it never decreases), so the sparse run goes first and
+    each entry records the mark observed right after it.
+    """
+    entries = []
+    for n, p_t, m, k, compare_dense in sizes or ORACLE_TIER_SIZES:
+        graph, pairs = _oracle_tier_workload(n, p_t, m)
+        sparse_placed, sparse_s, sparse_peak, sparse_rss = _run_tier(
+            graph, pairs, k, p_t, "sparse"
+        )
+        entry = {
+            "n": graph.number_of_nodes(),
+            "p_t": p_t,
+            "m": m,
+            "k": k,
+            "sparse_s": round(sparse_s, 4),
+            "sparse_peak_mb": round(sparse_peak / 1e6, 2),
+            "sparse_rss_kb": sparse_rss,
+            "dense_matrix_mb": round(n * n * 8 / 1e6, 2),
+        }
+        if compare_dense:
+            dense_placed, dense_s, dense_peak, dense_rss = _run_tier(
+                graph, pairs, k, p_t, "dense"
+            )
+            assert sparse_placed == dense_placed, (
+                f"sparse/dense placements disagree at n={n}, p_t={p_t}"
+            )
+            entry.update(
+                {
+                    "dense_s": round(dense_s, 4),
+                    "dense_peak_mb": round(dense_peak / 1e6, 2),
+                    "dense_rss_kb": dense_rss,
+                    "placements_identical": True,
+                    "speedup": round(dense_s / sparse_s, 3),
+                    "mem_ratio": round(sparse_peak / dense_peak, 3),
+                }
+            )
+        else:
+            entry["mem_ratio_vs_matrix"] = round(
+                sparse_peak / (n * n * 8), 3
+            )
+        entries.append(entry)
+    return {
+        "description": (
+            "greedy solve per oracle tier on the scaled RG family "
+            "(radius 0.2*sqrt(100/n)); mem_ratio is sparse tracemalloc "
+            "peak / dense tracemalloc peak for the same workload "
+            "(acceptance: <= 0.25). Sparse-only sizes report the peak "
+            "against the dense n^2 float64 matrix the tier avoids."
+        ),
+        "sizes": entries,
     }
 
 
@@ -161,6 +290,7 @@ def main() -> int:
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
         "fig1_greedy_path": bench_greedy_path(),
+        "oracle_tiers": bench_oracle_tiers(),
         "quick_experiments_s": bench_quick_experiments(),
     }
     if not args.skip_scaling:

@@ -19,6 +19,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.core.problem import ORACLE_POLICIES, set_default_oracle_policy
 from repro.experiments.config import SCALES
 from repro.experiments.runner import (
     all_experiment_names,
@@ -26,6 +27,17 @@ from repro.experiments.runner import (
     run_experiment,
 )
 from repro.util.serialization import dump_json
+
+
+def _add_oracle_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--oracle",
+        default=None,
+        choices=sorted(ORACLE_POLICIES),
+        help="distance-oracle tier for instances built without an explicit "
+        "oracle: 'dense' = full APSP matrix, 'sparse' = pair-centric row "
+        "block, 'auto' (the default policy) picks by instance size",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-experiment wall-clock bound; a worker exceeding it is "
         "terminated (and retried if --retries allows)",
     )
+    _add_oracle_argument(run)
 
     robustness = sub.add_parser(
         "robustness",
@@ -137,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--charts", action="store_true",
         help="also render degradation curves as ASCII charts",
     )
+    _add_oracle_argument(robustness)
 
     sub.add_parser(
         "describe", help="print the generated workloads' summary statistics"
@@ -307,6 +321,8 @@ def _cmd_describe() -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "oracle", None):
+        set_default_oracle_policy(args.oracle)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":

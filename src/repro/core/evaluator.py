@@ -42,6 +42,21 @@ DEFAULT_CHUNK_ELEMENTS = 1 << 22
 #: the pruned path's extra per-pair index bookkeeping.
 PRUNED_SCAN_MIN_N = 96
 
+#: Below this node count the engine LRU is disabled by default: building a
+#: supernode table from scratch on a graph this small is cheaper than the
+#: cache's frozenset keys and parent-lookup bookkeeping (the n=40
+#: regression in BENCH_perf.json). Explicit ``engine_cache_size`` values
+#: always win; the calibrated cutover is recorded in the benchmark output.
+ENGINE_CACHE_MIN_N = 96
+
+#: Default engine-LRU capacity once the cutover is passed.
+DEFAULT_ENGINE_CACHE_SIZE = 128
+
+#: Below this node count the d_t-ball candidate restriction is skipped:
+#: the full (n, n) scan is already cheap and the ball/searchsorted
+#: bookkeeping would dominate.
+CANDIDATE_RESTRICT_MIN_N = 192
+
 
 class EngineCache:
     """Small LRU of :class:`ShortcutDistanceEngine` keyed by shortcut set.
@@ -165,18 +180,34 @@ class PairScanAccumulator:
         if not self._flat:
             return
         flat = np.concatenate(self._flat)
-        if self._weights is None:
-            counts = np.bincount(flat, minlength=self._n * self._n)
-        else:
-            counts = np.bincount(
-                flat,
-                weights=np.concatenate(self._weights),
-                minlength=self._n * self._n,
-            )
-            self._weights.clear()
-        self.acc += counts.reshape(self._n, self._n).astype(
-            self.acc.dtype, copy=False
+        cells = self._n * self._n
+        weights = (
+            None if self._weights is None
+            else np.concatenate(self._weights)
         )
+        if flat.size * 4 < cells:
+            # Sparse flush: scatter straight into the accumulator.
+            # bincount would allocate a dense int64/float64 array over all
+            # n² cells — on the restricted scan that temporary would rival
+            # the accumulator itself.
+            acc_flat = self.acc.reshape(-1)
+            np.add.at(acc_flat, flat, 1 if weights is None else weights)
+        elif weights is None:
+            counts = np.bincount(flat, minlength=cells)
+            # In-place add with an explicit cast: bincount always yields
+            # int64, and a cast into the accumulator avoids materializing
+            # an extra (n, n) converted copy per flush.
+            np.add(
+                self.acc,
+                counts.reshape(self._n, self._n),
+                out=self.acc,
+                casting="unsafe",
+            )
+        else:
+            counts = np.bincount(flat, weights=weights, minlength=cells)
+            self.acc += counts.reshape(self._n, self._n)
+        if self._weights is not None:
+            self._weights.clear()
         self._flat.clear()
         self._pending = 0
 
@@ -200,7 +231,17 @@ class SigmaEvaluator:
             for benchmarking the fast path against.
         engine_cache_size: LRU capacity of the shortcut-engine memo; ``0``
             disables engine reuse (every evaluation rebuilds from the APSP
-            matrix).
+            matrix). ``None`` (default) auto-selects:
+            :data:`DEFAULT_ENGINE_CACHE_SIZE` from
+            :data:`ENGINE_CACHE_MIN_N` nodes up, disabled below — tiny
+            instances never pay the cache bookkeeping.
+        restrict_candidates: let the candidate *generation* (not just the
+            scoring) shrink to the d_t-ball of the pair endpoints and
+            placed shortcut endpoints (:meth:`candidate_universe`) —
+            every candidate outside the ball provably has zero marginal
+            gain, so greedy placements are unchanged. Takes effect from
+            :data:`CANDIDATE_RESTRICT_MIN_N` nodes up; ``False`` keeps the
+            full (n, n) enumeration (benchmark baseline).
         chunk_elements: peak per-pair temporary size for the pruned scan.
     """
 
@@ -209,7 +250,8 @@ class SigmaEvaluator:
         instance: MSCInstance,
         *,
         pruned: bool = True,
-        engine_cache_size: int = 128,
+        engine_cache_size: Optional[int] = None,
+        restrict_candidates: bool = True,
         chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
     ) -> None:
         self.instance = instance
@@ -218,12 +260,22 @@ class SigmaEvaluator:
         # despite float rounding.
         self.tolerance = 1e-12 + 1e-9 * self.threshold
         self.pruned = bool(pruned)
+        self.restrict_candidates = bool(restrict_candidates)
         self.chunk_elements = int(chunk_elements)
+        if engine_cache_size is None:
+            engine_cache_size = (
+                DEFAULT_ENGINE_CACHE_SIZE
+                if instance.n >= ENGINE_CACHE_MIN_N
+                else 0
+            )
         self.engine_cache = EngineCache(instance.oracle, engine_cache_size)
         self._pairs = instance.pair_indices
-        base = instance.oracle.matrix
+        oracle = instance.oracle
         self.base_satisfied: List[bool] = [
-            bool(base[iu, iw] <= self.threshold + self.tolerance)
+            bool(
+                oracle.distance_by_index(iu, iw)
+                <= self.threshold + self.tolerance
+            )
             for iu, iw in self._pairs
         ]
         self.base_sigma = sum(self.base_satisfied)
@@ -326,3 +378,87 @@ class SigmaEvaluator:
         acc += satisfied_now
         np.fill_diagonal(acc, satisfied_now)
         return acc
+
+    # ------------------------------------------- restricted candidate scan
+
+    def candidate_universe(
+        self, edges: Sequence[IndexPair]
+    ) -> Optional[np.ndarray]:
+        """Sorted endpoint indices that can carry positive marginal gain.
+
+        A candidate ``(a, b)`` satisfies an unsatisfied pair ``(u, w)``
+        only if ``d_F(u, a) <= d_t`` and ``d_F(b, w) <= d_t`` (distances
+        are nonnegative, so each term of the satisfying sum is itself
+        within the requirement). Any augmented distance within ``d_t``
+        decomposes into base-graph hops of at most ``d_t`` whose inner
+        stops are placed shortcut endpoints, so every useful endpoint lies
+        within **base** distance ``d_t`` of a pair endpoint or of an
+        endpoint of *edges* — the ball this method reads off the oracle's
+        row block. Candidates outside the ball have exactly zero gain,
+        which is why restricting generation to it leaves greedy placements
+        unchanged.
+
+        Returns ``None`` when the restriction is disabled or not worth it
+        (small graphs below :data:`CANDIDATE_RESTRICT_MIN_N`).
+        """
+        if not self.restrict_candidates:
+            return None
+        n = self.n
+        if n < CANDIDATE_RESTRICT_MIN_N:
+            return None
+        limit = self.threshold + self.tolerance
+        oracle = self.instance.oracle
+        sources = set(self._sources)
+        for a, b in edges:
+            sources.add(int(a))
+            sources.add(int(b))
+        member = np.zeros(n, dtype=bool)
+        for src in sorted(sources):
+            member |= oracle.row_by_index(src) <= limit
+        return np.flatnonzero(member).astype(np.intp)
+
+    def add_candidates_restricted(
+        self, edges: Sequence[IndexPair]
+    ) -> Optional["tuple[np.ndarray, np.ndarray]"]:
+        """Candidate scores over the restricted universe.
+
+        Returns ``(scores, universe)`` where *universe* is
+        :meth:`candidate_universe` and *scores* is the ``(r, r)`` block of
+        :meth:`add_candidates` at ``np.ix_(universe, universe)`` —
+        computed directly at that size, never materializing ``(n, n)``.
+        Returns ``None`` when the restriction does not apply; callers fall
+        back to the dense scan.
+        """
+        universe = self.candidate_universe(edges)
+        if universe is None:
+            return None
+        r = int(universe.size)
+        engine = self._engine(edges)
+        limit = self.threshold + self.tolerance
+        # The scan only reads universe columns, and every pair endpoint is
+        # itself in the universe (distance 0 to itself), so the narrow
+        # (s, r) query serves both the scan rows and the pair distances —
+        # the full (s, n) block is never materialized.
+        restricted = engine.distances_from_indices_to(
+            self._sources, universe
+        )
+        w_slots = np.searchsorted(universe, self._pair_w_cols)
+        pair_distances = restricted[self._pair_u_rows, w_slots]
+        satisfied_mask = pair_distances <= limit
+        satisfied_now = int(satisfied_mask.sum())
+        # Flushing at ~r²/4 buffered cells keeps the transient index
+        # buffers well under the (r, r) result size — on the sparse tier
+        # the whole point is a small peak, and the extra flushes are cheap.
+        scan = PairScanAccumulator(
+            r, chunk_elements=min(self.chunk_elements, max(r * r // 4, 1))
+        )
+        for p in np.flatnonzero(~satisfied_mask):
+            scan.add_pair(
+                restricted[self._pair_u_rows[p]],
+                restricted[self._pair_w_rows[p]],
+                limit,
+            )
+        scores = scan.result()
+        scores += satisfied_now
+        np.fill_diagonal(scores, satisfied_now)
+        return scores, universe

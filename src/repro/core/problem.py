@@ -9,12 +9,16 @@ shortcut-edge budget ``k``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.exceptions import InstanceError
 from repro.failure.models import failure_to_length, length_to_failure
 from repro.graph.distances import DistanceOracle
 from repro.graph.graph import Node, WirelessGraph
+from repro.graph.sparse_oracle import (
+    SparseRowOracle,
+    relevant_source_indices,
+)
 from repro.types import IndexPair, NodePair, normalize_index_pair
 from repro.util.validation import (
     check_fraction,
@@ -22,6 +26,82 @@ from repro.util.validation import (
     check_nonnegative_int,
     check_positive_int,
 )
+
+#: Either distance-oracle tier (both serve the row protocol).
+OracleLike = Union[DistanceOracle, SparseRowOracle]
+
+#: Oracle policy names accepted by ``MSCInstance(oracle=...)``.
+ORACLE_POLICIES = ("dense", "sparse", "auto")
+
+#: Below this node count ``auto`` always picks the dense tier: the full
+#: APSP is cheap and every consumer gets O(1) row views with no ball
+#: bookkeeping.
+SPARSE_ORACLE_MIN_N = 512
+
+#: ``auto`` picks the dense tier when the relevant-source set (pair
+#: endpoints + their d_t-ball) exceeds this fraction of the nodes — a row
+#: block nearly as tall as the matrix saves nothing.
+SPARSE_MAX_RELEVANT_FRACTION = 0.5
+
+#: Module default used when ``MSCInstance`` gets no ``oracle=`` argument;
+#: settable via :func:`set_default_oracle_policy` (the CLI's ``--oracle``).
+_DEFAULT_ORACLE_POLICY = "auto"
+
+
+def set_default_oracle_policy(policy: str) -> None:
+    """Set the process-wide default oracle tier policy.
+
+    *policy* is one of :data:`ORACLE_POLICIES`. Instances built with an
+    explicit ``oracle=`` argument (including the prebuilt oracles the
+    paper-scale workloads share across thresholds) are unaffected.
+    """
+    global _DEFAULT_ORACLE_POLICY
+    if policy not in ORACLE_POLICIES:
+        raise InstanceError(
+            f"unknown oracle policy {policy!r}; "
+            f"available: {', '.join(ORACLE_POLICIES)}"
+        )
+    _DEFAULT_ORACLE_POLICY = policy
+
+
+def default_oracle_policy() -> str:
+    """The current process-wide default oracle tier policy."""
+    return _DEFAULT_ORACLE_POLICY
+
+
+def resolve_oracle(
+    graph: WirelessGraph,
+    pair_indices: Sequence[IndexPair],
+    d_threshold: float,
+    policy: str,
+) -> OracleLike:
+    """Build the distance oracle *policy* asks for.
+
+    ``dense`` builds the classic APSP :class:`DistanceOracle`; ``sparse``
+    builds a :class:`SparseRowOracle` restricted to the pair endpoints and
+    their ``d_t``-ball; ``auto`` measures the ball first (cutoff Dijkstra
+    from the endpoints — cost bounded by the ball, not the graph) and picks
+    sparse only when the graph is large (``n >=``
+    :data:`SPARSE_ORACLE_MIN_N`) and the relevant fraction ``r/n`` is at
+    most :data:`SPARSE_MAX_RELEVANT_FRACTION`.
+    """
+    if policy not in ORACLE_POLICIES:
+        raise InstanceError(
+            f"unknown oracle policy {policy!r}; "
+            f"available: {', '.join(ORACLE_POLICIES)}"
+        )
+    seeds = sorted({i for pair in pair_indices for i in pair})
+    if policy == "sparse":
+        return SparseRowOracle(graph, seeds, radius=d_threshold)
+    if policy == "dense":
+        return DistanceOracle(graph)
+    n = graph.number_of_nodes()
+    if n < SPARSE_ORACLE_MIN_N or not seeds:
+        return DistanceOracle(graph)
+    sources = relevant_source_indices(graph, seeds, d_threshold)
+    if sources.size > SPARSE_MAX_RELEVANT_FRACTION * n:
+        return DistanceOracle(graph)
+    return SparseRowOracle(graph, sources=sources)
 
 
 class MSCInstance:
@@ -50,6 +130,14 @@ class MSCInstance:
             solver returns a well-formed empty-ish
             :class:`~repro.types.PlacementResult` for them; the default
             keeps the paper's preconditions strict.
+        oracle: the distance-oracle tier. Accepts a prebuilt oracle
+            (either :class:`~repro.graph.distances.DistanceOracle` or
+            :class:`~repro.graph.sparse_oracle.SparseRowOracle` for this
+            graph), one of the policy names ``"dense"`` / ``"sparse"`` /
+            ``"auto"``, or ``None`` to use the process default policy
+            (see :func:`set_default_oracle_policy`; initially ``"auto"``,
+            which keeps paper-scale instances dense and switches large
+            instances to the pair-centric sparse row block).
     """
 
     def __init__(
@@ -62,7 +150,7 @@ class MSCInstance:
         d_threshold: Optional[float] = None,
         require_initially_unsatisfied: bool = True,
         allow_degenerate: bool = False,
-        oracle: Optional[DistanceOracle] = None,
+        oracle: Union[OracleLike, str, None] = None,
     ) -> None:
         if (p_threshold is None) == (d_threshold is None):
             raise InstanceError(
@@ -79,9 +167,6 @@ class MSCInstance:
             self.k = check_nonnegative_int(k, "k")
         else:
             self.k = check_positive_int(k, "k")
-        self.oracle = oracle if oracle is not None else DistanceOracle(graph)
-        if oracle is not None and oracle.graph is not graph:
-            raise InstanceError("oracle was built for a different graph")
 
         self.pairs: List[NodePair] = []
         self.pair_indices: List[IndexPair] = []
@@ -101,6 +186,19 @@ class MSCInstance:
                 "at least one important social pair required "
                 "(pass allow_degenerate=True to accept an empty set)"
             )
+
+        if oracle is None:
+            oracle = _DEFAULT_ORACLE_POLICY
+        if isinstance(oracle, str):
+            self.oracle: OracleLike = resolve_oracle(
+                graph, self.pair_indices, self.d_threshold, oracle
+            )
+        else:
+            self.oracle = oracle
+            if oracle.graph is not graph:
+                raise InstanceError(
+                    "oracle was built for a different graph"
+                )
 
         if require_initially_unsatisfied:
             for (u, w), (iu, iw) in zip(self.pairs, self.pair_indices):
@@ -127,6 +225,15 @@ class MSCInstance:
     def p_threshold(self) -> float:
         """Failure-probability threshold ``p_t`` (derived from ``d_t``)."""
         return length_to_failure(self.d_threshold)
+
+    @property
+    def oracle_kind(self) -> str:
+        """Which oracle tier the instance ended up with
+        (``"dense"`` or ``"sparse"``)."""
+        return (
+            "sparse" if isinstance(self.oracle, SparseRowOracle)
+            else "dense"
+        )
 
     def pair_nodes(self) -> List[Node]:
         """Distinct nodes appearing in the social pairs, in first-seen

@@ -61,12 +61,14 @@ from typing import (
     Callable,
     Dict,
     List,
+    Mapping,
     Optional,
     Sequence,
     TypeVar,
 )
 
 from repro.exceptions import TaskError, TaskTimeoutError, ValidationError
+from repro.experiments import shm
 from repro.util.resilience import RetryPolicy, retry_call
 from repro.util.serialization import TaskJournal
 from repro.util.validation import check_positive_int
@@ -122,6 +124,7 @@ def fanout(
     key_fn: Optional[Callable[[T], Any]] = None,
     encode: Optional[Callable[[R], Any]] = None,
     decode: Optional[Callable[[Any], R]] = None,
+    shared: Optional[Mapping[str, Mapping[str, Any]]] = None,
 ) -> List[R]:
     """Map *worker* over *tasks*, optionally across worker processes.
 
@@ -147,6 +150,7 @@ def fanout(
         key_fn=key_fn,
         encode=encode,
         decode=decode,
+        shared=shared,
     )
     report.raise_on_failure()
     return list(report.results)
@@ -163,6 +167,7 @@ def fanout_report(
     key_fn: Optional[Callable[[T], Any]] = None,
     encode: Optional[Callable[[R], Any]] = None,
     decode: Optional[Callable[[Any], R]] = None,
+    shared: Optional[Mapping[str, Mapping[str, Any]]] = None,
     sleep: Callable[[float], None] = time.sleep,
 ) -> FanoutReport:
     """Fault-tolerant :func:`fanout` that collects failures per task.
@@ -180,6 +185,13 @@ def fanout_report(
             *journal*; also used to label errors and seed backoff jitter).
         encode / decode: result <-> JSON-serializable journal payload
             (default: identity — results must then be JSON-serializable).
+        shared: ``{key: {name: numpy array}}`` of large read-only arrays
+            workers resolve via :func:`repro.experiments.shm.get` instead
+            of receiving pickled copies. In the pool the arrays are
+            published to shared memory once and attached by every worker
+            (including rebuilt pools after crashes/timeouts); serially
+            they are registered in-process. Segments are unlinked on the
+            way out — normal return, task failure, or interrupt.
 
     Returns:
         A :class:`FanoutReport`; task failures are collected, not raised.
@@ -213,16 +225,22 @@ def fanout_report(
         if journal is not None:
             journal.put(key_of(tasks[i]), encode(result))
 
-    if jobs <= 1 or len(to_run) <= 1:
-        _run_serial(
-            worker, tasks, to_run, policy, task_timeout, key_of,
-            record, failures, report, sleep,
-        )
-    else:
-        _run_pool(
-            worker, tasks, to_run, jobs, policy, task_timeout, key_of,
-            record, failures, report, sleep,
-        )
+    if shared is not None:
+        shm.register_local(shared)
+    try:
+        if jobs <= 1 or len(to_run) <= 1:
+            _run_serial(
+                worker, tasks, to_run, policy, task_timeout, key_of,
+                record, failures, report, sleep,
+            )
+        else:
+            _run_pool(
+                worker, tasks, to_run, jobs, policy, task_timeout, key_of,
+                record, failures, report, sleep, shared,
+            )
+    finally:
+        if shared is not None:
+            shm.unregister_local(shared)
 
     report.failures = [failures[i] for i in sorted(failures)]
     return report
@@ -267,13 +285,28 @@ def _terminate_pool(pool: ProcessPoolExecutor, kill: bool) -> None:
 
 def _run_pool(
     worker, tasks, to_run, jobs, policy, task_timeout, key_of,
-    record, failures, report, sleep,
+    record, failures, report, sleep, shared=None,
 ) -> None:
     max_workers = min(jobs, len(to_run))
     attempts = {i: 0 for i in to_run}
     eligible = {i: 0.0 for i in to_run}  # monotonic time gate (backoff)
     pending = list(to_run)
-    pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    # Publish shared arrays once; every pool — the initial one and any
+    # rebuilt after a crash or timeout — attaches the same segments via
+    # its initializer, so retries see the identical read-only data.
+    publication = shm.publish(shared) if shared else None
+
+    def make_pool() -> ProcessPoolExecutor:
+        if publication is None:
+            return ProcessPoolExecutor(max_workers=max_workers)
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=shm.attach_worker,
+            initargs=(publication.payload,),
+        )
+
+    pool = make_pool()
     running: Dict[Any, tuple] = {}  # future -> (index, deadline)
 
     def fail_attempt(i: int, tb: Optional[str], timed_out: bool) -> None:
@@ -354,7 +387,7 @@ def _run_pool(
                     fail_attempt(i, None, timed_out=False)
                 running.clear()
                 _terminate_pool(pool, kill=False)
-                pool = ProcessPoolExecutor(max_workers=max_workers)
+                pool = make_pool()
                 continue
 
             now = time.monotonic()
@@ -374,6 +407,8 @@ def _run_pool(
                         pending.append(i)
                 running.clear()
                 _terminate_pool(pool, kill=True)
-                pool = ProcessPoolExecutor(max_workers=max_workers)
+                pool = make_pool()
     finally:
         _terminate_pool(pool, kill=False)
+        if publication is not None:
+            publication.close()

@@ -26,13 +26,16 @@ parallelizable cell-by-cell.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.evaluator import SigmaEvaluator
 from repro.core.problem import MSCInstance
 from repro.exceptions import ValidationError
 from repro.failure.models import MAX_FAILURE_PROBABILITY, length_to_failure
-from repro.graph.graph import Node, WirelessGraph
+from repro.graph.distances import DistanceOracle
+from repro.graph.graph import Node, WirelessGraph, graph_signature
 from repro.sim.delivery import DeliverySimulator
 from repro.types import NodePair, normalize_index_pair
 from repro.util.rng import SeedLike, ensure_rng
@@ -186,6 +189,15 @@ class FaultInjectionHarness:
         self.trials = check_positive_int(trials, "trials")
         self.strategy = strategy
         self._seed_text = repr(seed)
+        # APSP memo across scenario cells, keyed by the *content* digest
+        # of the perturbed graph. Cells whose graphs are copies with
+        # identical content (probability drift at severity 0, node loss
+        # that removed nobody) reuse one matrix; any actual perturbation
+        # changes the digest and gets a fresh oracle — stale reuse is
+        # structurally impossible.
+        self._matrix_memo: Dict[str, np.ndarray] = {}
+        self.oracle_memo_hits = 0
+        self.oracle_memo_builds = 0
 
     def _cell_rng(self, mode: str, severity: float):
         return ensure_rng((self._seed_text, "inject", mode, severity))
@@ -247,6 +259,29 @@ class FaultInjectionHarness:
             lost_nodes=lost_nodes,
         )
 
+    def _scenario_oracle(self, graph: WirelessGraph) -> DistanceOracle:
+        """Oracle for a perturbed scenario graph, memoized by content.
+
+        The memo is seeded with the base instance's own matrix (when its
+        oracle is the dense tier), so a "perturbation" that left the graph
+        content unchanged — drift at severity 0 — adopts the already-built
+        APSP instead of recomputing it.
+        """
+        base = self.instance.oracle
+        if isinstance(base, DistanceOracle):
+            base_sig = graph_signature(self.instance.graph)
+            if base_sig not in self._matrix_memo:
+                self._matrix_memo[base_sig] = base.matrix
+        signature = graph_signature(graph)
+        matrix = self._matrix_memo.get(signature)
+        if matrix is not None:
+            self.oracle_memo_hits += 1
+            return DistanceOracle.with_matrix(graph, matrix)
+        oracle = DistanceOracle(graph)
+        self._matrix_memo[signature] = oracle.matrix
+        self.oracle_memo_builds += 1
+        return oracle
+
     def _sigma(
         self,
         graph: WirelessGraph,
@@ -265,6 +300,7 @@ class FaultInjectionHarness:
                 d_threshold=self.instance.d_threshold,
                 require_initially_unsatisfied=False,
                 allow_degenerate=True,
+                oracle=self._scenario_oracle(graph),
             )
         evaluator = SigmaEvaluator(scenario)
         index_pairs = [

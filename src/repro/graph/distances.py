@@ -4,11 +4,27 @@ Every MSC algorithm repeatedly asks for base-graph distances between social
 pair endpoints and candidate shortcut endpoints. :class:`DistanceOracle`
 computes the APSP matrix once and serves O(1) queries plus numpy row views
 for the vectorized evaluators.
+
+Oracle protocol
+---------------
+
+Distance consumers (the shortcut engine, the σ evaluator, the solvers) are
+written against the *row* accessors — ``row_by_index``, ``rows``,
+``distance_by_index`` — never against a full square matrix. That is what
+lets :class:`~repro.graph.sparse_oracle.SparseRowOracle` slot in behind the
+same call sites with an ``r × n`` row block (``r ≪ n``) instead of the
+O(n²) matrix. ``matrix`` remains available on both tiers for legacy
+consumers, but on the sparse tier it materializes the full matrix and
+should be avoided on hot paths.
+
+Every full build of distance rows bumps the class-level ``build_count``
+(process-local), which the shared-memory fan-out tests use to assert that
+an APSP/row block is computed exactly once per distinct base graph.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -25,12 +41,40 @@ class DistanceOracle:
     a fresh oracle.
     """
 
+    #: Process-local count of full APSP builds (adopted matrices — shared
+    #: memory attaches, memo hits — do not count).
+    build_count: int = 0
+
     def __init__(
         self, graph: WirelessGraph, use_scipy: Optional[bool] = None
     ) -> None:
         self._graph = graph
         self._use_scipy = use_scipy
         self._matrix: Optional[np.ndarray] = None
+
+    @classmethod
+    def with_matrix(
+        cls, graph: WirelessGraph, matrix: np.ndarray
+    ) -> "DistanceOracle":
+        """Oracle adopting an already-computed APSP *matrix* for *graph*.
+
+        The matrix is used as-is (marked read-only, never copied), which is
+        how shared-memory workers and the fault-injection memo reuse one
+        APSP computation across processes/cells without rebuilding it. The
+        caller is responsible for the matrix actually belonging to *graph*
+        (match signatures via :func:`~repro.graph.graph.graph_signature`).
+        """
+        n = graph.number_of_nodes()
+        if matrix.shape != (n, n):
+            raise ValueError(
+                f"matrix shape {matrix.shape} != ({n}, {n})"
+            )
+        oracle = cls(graph)
+        if matrix.flags.writeable:
+            matrix = matrix.view()
+            matrix.setflags(write=False)
+        oracle._matrix = matrix
+        return oracle
 
     @property
     def graph(self) -> WirelessGraph:
@@ -49,6 +93,7 @@ class DistanceOracle:
                 self._graph, use_scipy=self._use_scipy
             )
             self._matrix.setflags(write=False)
+            DistanceOracle.build_count += 1
         return self._matrix
 
     def distance(self, u: Node, v: Node) -> float:
@@ -68,6 +113,11 @@ class DistanceOracle:
     def row_by_index(self, index: int) -> np.ndarray:
         """Distances from dense *index* to every node."""
         return self.matrix[index, :]
+
+    def rows(self, indices: Sequence[int]) -> np.ndarray:
+        """Distances from each of *indices* to every node, as a
+        ``(len(indices), n)`` block (a fresh array; safe to keep)."""
+        return self.matrix[np.asarray(indices, dtype=np.intp), :]
 
     def number_of_nodes(self) -> int:
         return self._graph.number_of_nodes()

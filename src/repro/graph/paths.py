@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,6 +18,11 @@ from repro.exceptions import GraphError
 from repro.graph.graph import Node, WirelessGraph
 
 INFINITY = math.inf
+
+#: scipy's csgraph treats explicit zeros as "no edge"; exact-zero edge
+#: lengths are bumped to this negligible value on the scipy paths so both
+#: backends agree (covered by regression tests).
+_ZERO_LENGTH_EPSILON = 1e-300
 
 
 def dijkstra(
@@ -135,6 +140,40 @@ def _scipy_available() -> bool:
     return True
 
 
+def graph_csr(
+    graph: WirelessGraph,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The graph's adjacency as CSR arrays ``(indptr, indices, data)``.
+
+    Deterministic given the graph (neighbors are emitted in insertion
+    order). Exact-zero edge lengths are preserved as-is; the scipy callers
+    bump them themselves.
+    """
+    n = graph.number_of_nodes()
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    cols: List[int] = []
+    vals: List[float] = []
+    for u in range(n):
+        nbrs = graph.neighbors_by_index(u)
+        indptr[u + 1] = indptr[u] + len(nbrs)
+        cols.extend(nbrs.keys())
+        vals.extend(nbrs.values())
+    return (
+        indptr,
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(vals, dtype=np.float64),
+    )
+
+
+def _scipy_graph(graph: WirelessGraph):
+    from scipy.sparse import csr_matrix
+
+    n = graph.number_of_nodes()
+    indptr, indices, data = graph_csr(graph)
+    data = np.where(data > 0, data, _ZERO_LENGTH_EPSILON)
+    return csr_matrix((data, indices, indptr), shape=(n, n))
+
+
 def _apsp_python(graph: WirelessGraph) -> np.ndarray:
     n = graph.number_of_nodes()
     matrix = np.full((n, n), INFINITY)
@@ -144,19 +183,52 @@ def _apsp_python(graph: WirelessGraph) -> np.ndarray:
 
 
 def _apsp_scipy(graph: WirelessGraph) -> np.ndarray:
-    from scipy.sparse import csr_matrix
     from scipy.sparse.csgraph import dijkstra as sp_dijkstra
 
-    n = graph.number_of_nodes()
-    rows: List[int] = []
-    cols: List[int] = []
-    vals: List[float] = []
-    for u in range(n):
-        for v, length in graph.neighbors_by_index(u).items():
-            rows.append(u)
-            cols.append(v)
-            # scipy's csgraph treats explicit zeros as "no edge" unless the
-            # matrix is dense; bump exact-zero lengths to a negligible value.
-            vals.append(length if length > 0 else 1e-300)
-    sparse = csr_matrix((vals, (rows, cols)), shape=(n, n))
-    return sp_dijkstra(sparse, directed=False)
+    return sp_dijkstra(_scipy_graph(graph), directed=False)
+
+
+def source_rows_matrix(
+    graph: WirelessGraph,
+    sources: Sequence[int],
+    use_scipy: Optional[bool] = None,
+) -> np.ndarray:
+    """Shortest-path distances from each of *sources* to every node, as a
+    ``(len(sources), n)`` row block (``inf`` when disconnected).
+
+    The source-restricted analogue of :func:`all_pairs_distance_matrix`:
+    cost scales with the number of sources, not with ``n`` squared, which
+    is what the sparse distance-oracle tier is built on. Both backends
+    produce identical rows to their all-pairs counterparts.
+    """
+    sources = list(sources)
+    if use_scipy is None:
+        use_scipy = _scipy_available()
+    if not sources:
+        return np.empty((0, graph.number_of_nodes()))
+    if use_scipy:
+        from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+        block = sp_dijkstra(
+            _scipy_graph(graph), directed=False, indices=sources
+        )
+        return np.atleast_2d(block)
+    return np.vstack(
+        [_dijkstra_indices(graph, src) for src in sources]
+    )
+
+
+def ball_indices(
+    graph: WirelessGraph, sources: Sequence[int], radius: float
+) -> np.ndarray:
+    """Sorted dense indices of every node within *radius* of a source.
+
+    Runs one cutoff Dijkstra per source, so exploration is bounded by the
+    ball size rather than the graph size — cheap even on large graphs.
+    Sources themselves are always included (distance zero).
+    """
+    members = set(int(s) for s in sources)
+    for src in set(members):
+        dist = _dijkstra_indices(graph, src, cutoff=radius)
+        members.update(i for i, d in enumerate(dist) if not math.isinf(d))
+    return np.array(sorted(members), dtype=np.intp)

@@ -96,15 +96,20 @@ class ShortcutDistanceEngine:
 
     def _build_tables(self) -> None:
         c = len(self._components)
-        matrix = self._oracle.matrix
+        oracle = self._oracle
         if c == 0:
-            self._comp_min = np.empty((0, matrix.shape[0]))
+            self._comp_min = np.empty((0, oracle.number_of_nodes()))
             self._inter = np.empty((0, 0))
             self._closure = np.empty((0, 0))
             return
         # comp_min[a, :] = distance from supernode a to every base node.
+        # Row access (never the square matrix) keeps the engine working
+        # unchanged on row-block oracles.
         self._comp_min = np.vstack(
-            [matrix[members, :].min(axis=0) for members in self._components]
+            [
+                oracle.rows(members).min(axis=0)
+                for members in self._components
+            ]
         )
         # Pairwise supernode distances through the base graph, then closed
         # under taking further shortcut hops (supernodes can chain).
@@ -164,14 +169,18 @@ class ShortcutDistanceEngine:
             child._closure = self._closure
             return child
 
-        matrix = self._oracle.matrix
+        oracle = self._oracle
         components = [list(m) for m in self._components]
         comp_min_rows = list(self._comp_min)
         if comp_u < 0 and comp_v < 0:
             # Fresh two-node supernode, appended last.
             touched = len(components)
             components.append(sorted((iu, iv)))
-            comp_min_rows.append(np.minimum(matrix[iu, :], matrix[iv, :]))
+            comp_min_rows.append(
+                np.minimum(
+                    oracle.row_by_index(iu), oracle.row_by_index(iv)
+                )
+            )
             kept = list(range(len(self._components)))
         elif comp_u >= 0 and comp_v >= 0:
             # Merge two existing supernodes (keep the lower slot).
@@ -189,7 +198,7 @@ class ShortcutDistanceEngine:
             loose = iv if comp_u >= 0 else iu
             components[touched] = sorted(components[touched] + [loose])
             comp_min_rows[touched] = np.minimum(
-                comp_min_rows[touched], matrix[loose, :]
+                comp_min_rows[touched], oracle.row_by_index(loose)
             )
             kept = list(range(len(self._components)))
 
@@ -237,7 +246,7 @@ class ShortcutDistanceEngine:
 
     def distances_from_index(self, src: int) -> np.ndarray:
         """Augmented distances from dense index *src* to every node."""
-        base = self._oracle.matrix[src, :]
+        base = self._oracle.row_by_index(src)
         if not self._components:
             return base.copy()
         entry = self._comp_min[:, src]  # cost to reach each supernode
@@ -260,18 +269,51 @@ class ShortcutDistanceEngine:
         for evaluating σ over many social pairs at once.
         """
         src = np.asarray(sources, dtype=np.intp)
-        base = self._oracle.matrix[src, :]
+        out = self._oracle.rows(src)  # fresh (s, n) array; used as scratch
         if not self._components:
-            return base.copy()
+            return out
         entry = self._comp_min[:, src]  # (c, s): cost to reach supernodes
         # reach[c, i]: source i to supernode c, chaining through others.
         reach = (entry[:, None, :] + self._closure[:, :, None]).min(axis=0)
-        via = (reach[:, :, None] + self._comp_min[:, None, :]).min(axis=0)
-        return np.minimum(base, via)
+        # Fold the supernode routes in one component at a time: the naive
+        # broadcast materializes a (c, s, n) temporary that grows with every
+        # placed shortcut, while this loop keeps the peak at two (s, n)
+        # arrays no matter how large F gets.
+        via = np.empty_like(out)
+        for a in range(len(self._components)):
+            np.add(reach[a, :, None], self._comp_min[a, None, :], out=via)
+            np.minimum(out, via, out=out)
+        return out
+
+    def distances_from_indices_to(
+        self, sources: Sequence[int], columns: Sequence[int]
+    ) -> np.ndarray:
+        """Augmented distances from each of *sources* to each of *columns*,
+        as a ``(len(sources), len(columns))`` array.
+
+        Equals ``distances_from_indices(sources)[:, columns]`` but never
+        materializes the full-width block — peak memory and work scale
+        with the requested column set (the restricted-candidate hot path).
+        """
+        src = np.asarray(sources, dtype=np.intp)
+        cols = np.asarray(columns, dtype=np.intp)
+        out = np.empty((src.size, cols.size))
+        for i, s in enumerate(src):
+            out[i] = self._oracle.row_by_index(int(s))[cols]
+        if not self._components:
+            return out
+        entry = self._comp_min[:, src]  # (c, s): cost to reach supernodes
+        reach = (entry[:, None, :] + self._closure[:, :, None]).min(axis=0)
+        comp_cols = self._comp_min[:, cols]  # (c, len(cols))
+        via = np.empty_like(out)
+        for a in range(len(self._components)):
+            np.add(reach[a, :, None], comp_cols[a, None, :], out=via)
+            np.minimum(out, via, out=out)
+        return out
 
     def distance_by_index(self, iu: int, iv: int) -> float:
         """Augmented distance between dense indices *iu* and *iv*."""
-        best = float(self._oracle.matrix[iu, iv])
+        best = float(self._oracle.distance_by_index(iu, iv))
         if self._components:
             entry = self._comp_min[:, iu]
             reach = (entry[:, None] + self._closure).min(axis=0)

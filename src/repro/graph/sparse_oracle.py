@@ -1,0 +1,244 @@
+"""Pair-centric sparse distance oracle: an ``r × n`` row block, ``r ≪ n``.
+
+The MSC objective only ever queries base-graph distances *from* a small set
+of relevant sources — the social-pair endpoints and the nodes within the
+distance requirement ``d_t`` of one (the paper's §IV pruning observation:
+a shortcut endpoint farther than ``d_t`` from every pair endpoint can never
+help a pair, and every reachable-through-shortcuts endpoint is within
+``d_t`` of an already-placed endpoint, which is itself inside the ball).
+:class:`SparseRowOracle` therefore runs Dijkstra only from those sources
+and stores the resulting row block, turning the oracle's footprint from
+O(n²) into O(r·n) and its build time from n single-source runs into r.
+
+Rows outside the block are still exact: a straggler query (rare — e.g. a
+later greedy round placing a shortcut endpoint discovered through an
+earlier shortcut's ball) fills that row lazily with one more Dijkstra run
+and caches it. The oracle therefore *never approximates*; it only chooses
+which exact rows to precompute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Node, WirelessGraph
+from repro.graph.paths import (
+    ball_indices,
+    source_rows_matrix,
+)
+
+
+def relevant_source_indices(
+    graph: WirelessGraph,
+    seeds: Sequence[int],
+    radius: Optional[float],
+) -> np.ndarray:
+    """Sorted dense indices the sparse oracle should precompute rows for:
+    the *seeds* (pair endpoints) plus every node within *radius* (``d_t``)
+    of one. ``radius=None`` keeps just the seeds."""
+    seeds = sorted({int(s) for s in seeds})
+    if radius is None:
+        return np.array(seeds, dtype=np.intp)
+    return ball_indices(graph, seeds, radius)
+
+
+class SparseRowOracle:
+    """Source-restricted distance oracle over a fixed base graph.
+
+    Serves the same row/distance protocol as
+    :class:`~repro.graph.distances.DistanceOracle` from an ``(r, n)`` row
+    block holding exact single-source distances for the *relevant* sources
+    (*seeds* plus their ``radius``-ball). Any other row is computed lazily
+    on first access (one Dijkstra run, cached), so all queries are exact.
+
+    Args:
+        graph: the base graph (must not be mutated afterwards).
+        seeds: dense indices distances are needed from (pair endpoints).
+        radius: ball radius (the instance's ``d_t``); relevant sources are
+            the seeds plus all nodes within *radius* of one. ``None``
+            precomputes seed rows only.
+        use_scipy: force the scipy/pure-Python backend (``None`` = auto).
+            The same backend serves lazy fills, so every row matches what a
+            dense oracle with the same setting would hold.
+        sources: precomputed relevant-source indices (skips the ball
+            expansion; used by the auto-selection policy, which has already
+            measured the ball).
+    """
+
+    #: Process-local count of row-block builds (adopted blocks do not
+    #: count) — see :class:`~repro.graph.distances.DistanceOracle`.
+    build_count: int = 0
+
+    def __init__(
+        self,
+        graph: WirelessGraph,
+        seeds: Sequence[int] = (),
+        *,
+        radius: Optional[float] = None,
+        use_scipy: Optional[bool] = None,
+        sources: Optional[Sequence[int]] = None,
+    ) -> None:
+        self._graph = graph
+        self._use_scipy = use_scipy
+        n = graph.number_of_nodes()
+        if sources is None:
+            sources = relevant_source_indices(graph, seeds, radius)
+        self._sources = np.asarray(sources, dtype=np.intp)
+        if self._sources.size and not (
+            0 <= int(self._sources.min())
+            and int(self._sources.max()) < n
+        ):
+            raise GraphError(
+                f"source indices out of range for n={n}"
+            )
+        self._slot_of: Dict[int, int] = {
+            int(s): i for i, s in enumerate(self._sources)
+        }
+        self._block: Optional[np.ndarray] = None
+        self._extra: Dict[int, np.ndarray] = {}
+        self._lazy_fills = 0
+
+    @classmethod
+    def with_block(
+        cls,
+        graph: WirelessGraph,
+        sources: Sequence[int],
+        block: np.ndarray,
+    ) -> "SparseRowOracle":
+        """Oracle adopting an already-computed row *block* for *sources*
+        (shared-memory attach path; the block is used as-is, read-only)."""
+        oracle = cls(graph, sources=sources)
+        n = graph.number_of_nodes()
+        if block.shape != (oracle._sources.size, n):
+            raise ValueError(
+                f"block shape {block.shape} != "
+                f"({oracle._sources.size}, {n})"
+            )
+        if block.flags.writeable:
+            block = block.view()
+            block.setflags(write=False)
+        oracle._block = block
+        return oracle
+
+    # ------------------------------------------------------------ the block
+
+    @property
+    def graph(self) -> WirelessGraph:
+        return self._graph
+
+    @property
+    def source_indices(self) -> np.ndarray:
+        """The precomputed sources, sorted (read-only view)."""
+        view = self._sources.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def block(self) -> np.ndarray:
+        """The ``(r, n)`` row block (computed on first access, read-only)."""
+        if self._block is None:
+            self._block = source_rows_matrix(
+                self._graph,
+                [int(s) for s in self._sources],
+                use_scipy=self._use_scipy,
+            )
+            self._block.setflags(write=False)
+            SparseRowOracle.build_count += 1
+        return self._block
+
+    @property
+    def lazy_fills(self) -> int:
+        """Rows served from outside the precomputed block so far."""
+        return self._lazy_fills
+
+    def number_of_nodes(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def block_nbytes(self) -> int:
+        """Memory footprint of the row block in bytes (without lazy rows)."""
+        return self._sources.size * self._graph.number_of_nodes() * 8
+
+    # -------------------------------------------------------------- queries
+
+    def row_by_index(self, index: int) -> np.ndarray:
+        """Distances from dense *index* to every node (read-only).
+
+        Block rows are served as views; stragglers are computed once and
+        cached.
+        """
+        slot = self._slot_of.get(int(index))
+        if slot is not None:
+            return self.block[slot, :]
+        cached = self._extra.get(int(index))
+        if cached is None:
+            cached = source_rows_matrix(
+                self._graph, [int(index)], use_scipy=self._use_scipy
+            )[0]
+            cached.setflags(write=False)
+            self._extra[int(index)] = cached
+            self._lazy_fills += 1
+        return cached
+
+    def row(self, node: Node) -> np.ndarray:
+        return self.row_by_index(self._graph.node_index(node))
+
+    def rows(self, indices: Sequence[int]) -> np.ndarray:
+        """Distances from each of *indices* to every node, as a
+        ``(len(indices), n)`` block (a fresh array; safe to keep)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        slots = [self._slot_of.get(int(i)) for i in idx]
+        if all(s is not None for s in slots):
+            return self.block[np.asarray(slots, dtype=np.intp), :]
+        return np.vstack([self.row_by_index(int(i)) for i in idx])
+
+    def distance_by_index(self, iu: int, iv: int) -> float:
+        """Base-graph distance between dense indices *iu* and *iv* (either
+        endpoint's row may serve the query — distances are symmetric)."""
+        slot = self._slot_of.get(int(iu))
+        if slot is not None:
+            return float(self.block[slot, iv])
+        slot = self._slot_of.get(int(iv))
+        if slot is not None:
+            return float(self.block[slot, iu])
+        return float(self.row_by_index(iu)[iv])
+
+    def distance(self, u: Node, v: Node) -> float:
+        return self.distance_by_index(
+            self._graph.node_index(u), self._graph.node_index(v)
+        )
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Full ``n x n`` matrix for legacy consumers.
+
+        Materializing it forfeits the sparse tier's memory savings (every
+        missing row is computed), so hot paths must use the row accessors;
+        this exists so code written against the dense oracle still returns
+        exact results when handed a sparse one.
+        """
+        n = self._graph.number_of_nodes()
+        missing = [
+            i
+            for i in range(n)
+            if i not in self._slot_of and i not in self._extra
+        ]
+        if missing:
+            filled = source_rows_matrix(
+                self._graph, missing, use_scipy=self._use_scipy
+            )
+            for index, row in zip(missing, filled):
+                row.setflags(write=False)
+                self._extra[index] = row
+            self._lazy_fills += len(missing)
+        full = np.vstack([self.row_by_index(i) for i in range(n)])
+        full.setflags(write=False)
+        return full
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseRowOracle(n={self._graph.number_of_nodes()}, "
+            f"r={self._sources.size}, lazy={self._lazy_fills})"
+        )

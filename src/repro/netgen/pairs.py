@@ -87,6 +87,83 @@ def select_important_pairs(
     return rng.sample(candidates, m)
 
 
+def sample_important_pairs(
+    graph: WirelessGraph,
+    m: int,
+    p_threshold: float,
+    *,
+    seed: SeedLike = None,
+    max_failure: Optional[float] = None,
+    oversample: int = 8,
+) -> List[NodePair]:
+    """Oracle-free violating-pair sampler for large graphs.
+
+    :func:`select_important_pairs` enumerates all ``O(n²)`` pairs against
+    a full APSP matrix — exactly the footprint the sparse oracle tier
+    exists to avoid. This sampler instead draws random source nodes, runs
+    one Dijkstra each (:func:`~repro.graph.paths.source_rows_matrix`), and
+    keeps violating partners until *m* pairs are collected. The distribution is
+    not identical to the uniform-over-all-violating-pairs selector (it is
+    uniform per sampled source), which matches the paper's intent —
+    "randomly selected from the node pairs with path failure probability
+    larger than the threshold" — without ever materializing the pair
+    universe.
+
+    Args:
+        oversample: give up after ``oversample * m`` source draws without
+            filling the quota (graphs where almost nothing violates
+            ``p_t``).
+
+    Raises :class:`InstanceError` when the quota cannot be filled.
+    """
+    from repro.graph.paths import source_rows_matrix
+
+    check_positive_int(m, "m")
+    check_fraction(p_threshold, "p_threshold")
+    d_threshold = failure_to_length(p_threshold)
+    d_cap = (
+        None if max_failure is None else failure_to_length(
+            check_fraction(max_failure, "max_failure")
+        )
+    )
+    rng = ensure_rng(seed)
+    nodes = graph.nodes
+    n = len(nodes)
+    if n < 2:
+        raise InstanceError("need at least two nodes to sample pairs")
+    out: List[NodePair] = []
+    seen = set()
+    draws = 0
+    while len(out) < m and draws < oversample * m:
+        draws += 1
+        u = nodes[rng.randrange(n)]
+        iu = graph.node_index(u)
+        distances = source_rows_matrix(graph, [iu])[0]
+        partners = []
+        for iw in range(n):
+            if iw == iu:
+                continue
+            d = distances[iw]
+            if d <= d_threshold:
+                continue
+            if d_cap is not None and d > d_cap:
+                continue
+            key = (min(iu, iw), max(iu, iw))
+            if key not in seen:
+                partners.append((iw, key))
+        if not partners:
+            continue
+        iw, key = partners[rng.randrange(len(partners))]
+        seen.add(key)
+        out.append((u, graph.index_node(iw)))
+    if len(out) < m:
+        raise InstanceError(
+            f"sampled only {len(out)} violating pairs after {draws} "
+            f"source draws (need m={m}); lower p_t or m"
+        )
+    return out
+
+
 def select_friend_pairs(
     graph: WirelessGraph,
     friendships: Sequence[NodePair],

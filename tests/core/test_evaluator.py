@@ -297,7 +297,7 @@ class TestEngineCache:
     def test_cached_values_are_correct(self, tiny_instance):
         """Engine reuse must not change σ: compare against a cache-free
         evaluator on a growing set (the greedy pattern)."""
-        with_cache = SigmaEvaluator(tiny_instance)
+        with_cache = SigmaEvaluator(tiny_instance, engine_cache_size=128)
         without = SigmaEvaluator(tiny_instance, engine_cache_size=0)
         edges = []
         for edge in [(0, 4), (1, 3), (0, 3)]:

@@ -3,6 +3,7 @@ robustness experiment built on top of them."""
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.core.problem import MSCInstance
@@ -17,6 +18,8 @@ from repro.failure.injection import (
     remove_random_nodes,
 )
 from repro.failure.models import MAX_FAILURE_PROBABILITY, length_to_failure
+from repro.graph.distances import DistanceOracle
+from repro.graph.graph import graph_signature
 from tests.conftest import path_graph
 
 
@@ -231,3 +234,49 @@ class TestRobustnessExperiment:
 
         assert "robustness" in all_experiment_names()
         assert "robustness" not in experiment_names()
+
+
+class TestScenarioOracleMemo:
+    """The harness must build one oracle per *distinct* perturbed graph:
+    an unperturbed scenario adopts the base APSP, a perturbed one never
+    reuses it."""
+
+    def _harness(self, solved):
+        instance, placement = solved
+        return instance, FaultInjectionHarness(
+            instance, placement.edges, trials=10, seed=1
+        )
+
+    def test_zero_severity_drift_is_a_memo_hit(self, solved):
+        instance, harness = self._harness(solved)
+        before = DistanceOracle.build_count
+        harness.run("probability_drift", 0.0)
+        # The severity-0 graph has the base graph's content, so its
+        # already-built APSP is adopted — no Dijkstra, no fresh build.
+        assert harness.oracle_memo_hits == 1
+        assert harness.oracle_memo_builds == 0
+        assert DistanceOracle.build_count == before
+
+    def test_perturbed_graph_builds_fresh_oracle(self, solved):
+        instance, harness = self._harness(solved)
+        harness.run("probability_drift", 1.0)
+        assert harness.oracle_memo_builds == 1
+        assert harness.oracle_memo_hits == 0
+        # No stale reuse: the drifted graph's matrix must differ from the
+        # base matrix (drift inflates every length), or the cell would
+        # silently report the unperturbed sigma.
+        base_sig = graph_signature(instance.graph)
+        perturbed = [
+            matrix
+            for sig, matrix in harness._matrix_memo.items()
+            if sig != base_sig
+        ]
+        assert len(perturbed) == 1
+        assert not np.array_equal(perturbed[0], instance.oracle.matrix)
+
+    def test_repeated_cell_reuses_the_perturbed_matrix(self, solved):
+        instance, harness = self._harness(solved)
+        harness.run("probability_drift", 1.0)
+        harness.run("probability_drift", 1.0)
+        assert harness.oracle_memo_builds == 1
+        assert harness.oracle_memo_hits == 1

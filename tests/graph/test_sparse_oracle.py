@@ -1,0 +1,257 @@
+"""Tests for repro.graph.sparse_oracle — the SparseRowOracle must agree
+*exactly* with the dense DistanceOracle on every query it serves, because
+the greedy/evaluator hot paths treat the two tiers as interchangeable."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import (
+    MSCInstance,
+    SPARSE_ORACLE_MIN_N,
+    default_oracle_policy,
+    resolve_oracle,
+    set_default_oracle_policy,
+)
+from repro.exceptions import GraphError, InstanceError
+from repro.graph.distances import DistanceOracle
+from repro.graph.graph import WirelessGraph
+from repro.graph.sparse_oracle import (
+    SparseRowOracle,
+    relevant_source_indices,
+)
+from tests.conftest import grid_graph, path_graph, random_graph
+
+
+class TestAgreementWithDense:
+    def test_block_rows_match_dense_matrix(self):
+        g = grid_graph(4, 4)
+        dense = DistanceOracle(g)
+        sparse = SparseRowOracle(g, [0, 5, 15], radius=2.0)
+        for src in sparse.source_indices:
+            assert np.array_equal(
+                sparse.row_by_index(int(src)), dense.matrix[int(src)]
+            )
+
+    def test_straggler_rows_match_dense_matrix(self):
+        g = grid_graph(4, 4)
+        dense = DistanceOracle(g)
+        sparse = SparseRowOracle(g, [0], radius=1.0)
+        outside = [
+            i
+            for i in range(g.number_of_nodes())
+            if i not in set(int(s) for s in sparse.source_indices)
+        ]
+        assert outside, "need at least one row outside the block"
+        for src in outside:
+            assert np.array_equal(
+                sparse.row_by_index(src), dense.matrix[src]
+            )
+
+    def test_unreachable_distances_are_inf_like_dense(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=1.0)
+        g.add_edge(2, 3, length=1.0)  # separate component
+        dense = DistanceOracle(g)
+        sparse = SparseRowOracle(g, [0], radius=5.0)
+        assert math.isinf(sparse.distance_by_index(0, 2))
+        assert np.array_equal(sparse.row_by_index(0), dense.matrix[0])
+        # A straggler row from the other component agrees too.
+        assert np.array_equal(sparse.row_by_index(2), dense.matrix[2])
+
+    def test_zero_length_edges_agree(self):
+        g = WirelessGraph()
+        g.add_edge(0, 1, length=0.0)
+        g.add_edge(1, 2, length=1.0)
+        g.add_edge(2, 3, length=0.0)
+        dense = DistanceOracle(g)
+        sparse = SparseRowOracle(g, [0], radius=0.5)
+        for i in range(4):
+            assert np.array_equal(sparse.row_by_index(i), dense.matrix[i])
+
+    def test_full_matrix_property_matches_dense(self):
+        g = grid_graph(3, 3)
+        dense = DistanceOracle(g)
+        sparse = SparseRowOracle(g, [0], radius=1.0)
+        assert np.array_equal(sparse.matrix, dense.matrix)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        edge_prob=st.floats(min_value=0.05, max_value=0.5),
+        radius=st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_random_graphs_agree_everywhere(
+        self, seed, edge_prob, radius
+    ):
+        rng = random.Random(seed)
+        g = random_graph(12, edge_prob, rng)  # may be disconnected
+        if rng.random() < 0.5:  # exercise exact-zero edge lengths too
+            u, v = rng.sample(range(12), 2)
+            if not g.has_edge(u, v):
+                g.add_edge(u, v, length=0.0)
+        seeds = rng.sample(range(12), 3)
+        dense = DistanceOracle(g)
+        sparse = SparseRowOracle(g, seeds, radius=radius)
+        for i in range(12):
+            assert np.array_equal(sparse.row_by_index(i), dense.matrix[i])
+        for _ in range(10):
+            iu, iv = rng.randrange(12), rng.randrange(12)
+            d_sparse = sparse.distance_by_index(iu, iv)
+            d_dense = float(dense.matrix[iu, iv])
+            if math.isinf(d_dense):
+                assert math.isinf(d_sparse)
+            else:
+                # distance_by_index may serve the symmetric query from
+                # the other endpoint's row — a different Dijkstra
+                # summation order, so allow ULP-level noise (rows from
+                # the same source are compared bit-exactly above).
+                assert math.isclose(
+                    d_sparse, d_dense, rel_tol=1e-9, abs_tol=0.0
+                )
+
+    def test_backends_agree(self):
+        g = grid_graph(3, 4)
+        a = SparseRowOracle(g, [0, 11], radius=2.0, use_scipy=False)
+        b = SparseRowOracle(g, [0, 11], radius=2.0, use_scipy=True)
+        assert np.array_equal(a.block, b.block)
+
+
+class TestBlockAndLaziness:
+    def test_sources_cover_seeds_and_ball(self):
+        g = path_graph([1.0, 1.0, 1.0, 1.0])
+        sources = relevant_source_indices(g, [0], 2.0)
+        assert list(sources) == [0, 1, 2]
+
+    def test_lazy_fill_counted_once(self):
+        g = path_graph([1.0, 1.0, 1.0])
+        sparse = SparseRowOracle(g, [0], radius=0.5)
+        assert sparse.lazy_fills == 0
+        sparse.row_by_index(3)
+        assert sparse.lazy_fills == 1
+        sparse.row_by_index(3)  # cached now
+        assert sparse.lazy_fills == 1
+
+    def test_block_rows_are_not_lazy_fills(self):
+        g = path_graph([1.0, 1.0])
+        sparse = SparseRowOracle(g, [0, 1, 2])
+        sparse.rows([0, 1, 2])
+        assert sparse.lazy_fills == 0
+
+    def test_build_counter_counts_real_builds_only(self):
+        g = path_graph([1.0, 1.0])
+        before = SparseRowOracle.build_count
+        sparse = SparseRowOracle(g, [0])
+        sparse.block  # first access builds
+        sparse.block  # cached
+        assert SparseRowOracle.build_count == before + 1
+        adopted = SparseRowOracle.with_block(
+            g, list(sparse.source_indices), np.array(sparse.block)
+        )
+        adopted.row_by_index(0)
+        assert SparseRowOracle.build_count == before + 1
+
+    def test_with_block_serves_adopted_rows(self):
+        g = path_graph([1.0, 2.0])
+        original = SparseRowOracle(g, [0, 1])
+        adopted = SparseRowOracle.with_block(
+            g, list(original.source_indices), np.array(original.block)
+        )
+        assert np.array_equal(
+            adopted.row_by_index(0), original.row_by_index(0)
+        )
+        assert not adopted.block.flags.writeable
+
+    def test_with_block_shape_mismatch_rejected(self):
+        g = path_graph([1.0, 1.0])
+        with pytest.raises(ValueError):
+            SparseRowOracle.with_block(g, [0], np.zeros((2, 3)))
+
+    def test_out_of_range_sources_rejected(self):
+        g = path_graph([1.0])
+        with pytest.raises(GraphError):
+            SparseRowOracle(g, sources=[5])
+
+    def test_block_nbytes_counts_block_only(self):
+        g = path_graph([1.0, 1.0, 1.0])
+        sparse = SparseRowOracle(g, [0], radius=1.0)
+        assert sparse.block_nbytes() == sparse.source_indices.size * 4 * 8
+
+
+class TestOraclePolicy:
+    def test_auto_picks_dense_below_min_n(self):
+        g = grid_graph(3, 3)
+        oracle = resolve_oracle(g, [(0, 8)], 2.0, "auto")
+        assert isinstance(oracle, DistanceOracle)
+
+    def test_explicit_sparse_on_small_graph(self):
+        g = grid_graph(3, 3)
+        oracle = resolve_oracle(g, [(0, 8)], 2.0, "sparse")
+        assert isinstance(oracle, SparseRowOracle)
+
+    def test_auto_picks_sparse_on_large_sparse_ball(self):
+        # A long path: n >= SPARSE_ORACLE_MIN_N but the d_t-ball around
+        # the single pair stays tiny, so auto should choose the row block.
+        n = SPARSE_ORACLE_MIN_N + 1
+        g = path_graph([1.0] * (n - 1))
+        oracle = resolve_oracle(g, [(0, 4)], 2.0, "auto")
+        assert isinstance(oracle, SparseRowOracle)
+
+    def test_auto_falls_back_when_ball_covers_graph(self):
+        n = SPARSE_ORACLE_MIN_N + 1
+        g = path_graph([1.0] * (n - 1))
+        # radius spanning the whole path -> relevant fraction ~1 -> dense
+        oracle = resolve_oracle(g, [(0, n - 1)], float(n), "auto")
+        assert isinstance(oracle, DistanceOracle)
+
+    def test_unknown_policy_rejected(self):
+        g = grid_graph(2, 2)
+        with pytest.raises(InstanceError):
+            resolve_oracle(g, [(0, 3)], 1.0, "fancy")
+
+    def test_instance_accepts_policy_string(self):
+        g = grid_graph(3, 3)
+        inst = MSCInstance(
+            g, [(0, 8)], k=1, d_threshold=2.0, oracle="sparse"
+        )
+        assert inst.oracle_kind == "sparse"
+        dense_inst = MSCInstance(g, [(0, 8)], k=1, d_threshold=2.0)
+        assert dense_inst.oracle_kind == "dense"
+
+    def test_default_policy_round_trip(self):
+        assert default_oracle_policy() == "auto"
+        set_default_oracle_policy("dense")
+        try:
+            assert default_oracle_policy() == "dense"
+            with pytest.raises(InstanceError):
+                set_default_oracle_policy("bogus")
+        finally:
+            set_default_oracle_policy("auto")
+
+    def test_sigma_identical_across_tiers(self):
+        # The end-to-end guarantee: same instance, same sigma, same
+        # greedy placement whichever tier serves the distances.
+        from repro.core.evaluator import SigmaEvaluator
+        from repro.core.greedy import greedy_placement
+
+        rng = random.Random(7)
+        g = random_graph(16, 0.25, rng)
+        pairs = [(0, 15), (3, 12), (1, 9)]
+        placements = {}
+        for tier in ("dense", "sparse"):
+            inst = MSCInstance(
+                g,
+                pairs,
+                k=2,
+                d_threshold=1.5,
+                oracle=tier,
+                require_initially_unsatisfied=False,
+            )
+            placements[tier] = greedy_placement(
+                SigmaEvaluator(inst), inst.k
+            )
+        assert placements["dense"] == placements["sparse"]

@@ -131,3 +131,55 @@ class TestKillAndResume:
         for path in records:
             record = json.loads(path.read_text(encoding="utf-8"))
             assert {"key", "payload"} <= set(record)
+
+    @pytest.mark.skipif(
+        not Path("/dev/shm").is_dir(), reason="no POSIX /dev/shm"
+    )
+    def test_sigkilled_run_leaks_no_shm_segments(self, tmp_path):
+        """Hard-killing a parallel sweep while its shared-memory
+        publication is live must leave /dev/shm clean: the resource
+        tracker outlives the parent and unlinks the orphaned segments."""
+        import glob
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        victim = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "robustness",
+                "--scale", "quick", "--seed", "7", "--jobs", "4",
+                "--json", str(tmp_path / "robustness.json"),
+            ],
+            cwd=str(REPO_ROOT),
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        pattern = f"/dev/shm/mscshm_{victim.pid}_*"
+        saw_segments = False
+        deadline = time.monotonic() + 120
+        try:
+            while time.monotonic() < deadline:
+                if victim.poll() is not None:
+                    break
+                if glob.glob(pattern):
+                    saw_segments = True  # publication is live: strike
+                    victim.send_signal(signal.SIGKILL)
+                    break
+                time.sleep(0.01)
+            victim.wait(timeout=120)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait()
+        assert saw_segments, (
+            "run finished before the poll ever saw a live publication; "
+            "the kill window was missed"
+        )
+        # Cleanup is asynchronous: the tracker unlinks once the orphaned
+        # pool workers notice the dead parent and exit.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and glob.glob(pattern):
+            time.sleep(0.05)
+        assert glob.glob(pattern) == []
