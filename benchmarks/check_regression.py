@@ -12,11 +12,15 @@ Raw wall-clock times are machine-dependent, so the gate compares the
   n=2000 and asserts the sparse peak stays within the memory budget
   (≤ 25% of the dense peak for the same workload) with placements
   identical to the dense tier.
+* ``--large-n``: additionally runs the hub-vs-sparse tier at n=10^4 and
+  asserts the hub solve is ≥ 3× faster with a lower tracemalloc peak and
+  an identical placement (the hub tier's acceptance floors).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
-        [--baseline BENCH_perf.json] [--tolerance 0.25] [--memory]
+        [--baseline BENCH_perf.json] [--tolerance 0.25] [--memory] \
+        [--large-n]
 
 Exit status 0 = no regression; 1 = regression (messages on stderr).
 """
@@ -30,16 +34,28 @@ import sys
 try:
     from benchmarks.perf_harness import (
         bench_greedy_path,
+        bench_hub_tier,
         bench_oracle_tiers,
     )
 except ImportError:  # invoked as `python benchmarks/check_regression.py`
-    from perf_harness import bench_greedy_path, bench_oracle_tiers
+    from perf_harness import (
+        bench_greedy_path,
+        bench_hub_tier,
+        bench_oracle_tiers,
+    )
 
 #: Memory-gate workload: n=2000 with p_t=0.03 keeps a comfortable margin
 #: below the 0.25 budget (the committed BENCH_perf.json carries the
 #: tighter p_t=0.04 point, which sits right at the budget).
 MEMORY_GATE_SIZES = [(2000, 0.03, 60, 5, True)]
 MEMORY_BUDGET_RATIO = 0.25
+
+#: Large-n gate: the smallest hub-scale size (the full 10^5 series lives
+#: in BENCH_perf.json; one point keeps the gate fast). Floors are the
+#: tentpole's acceptance criteria, machine-relative because speedup and
+#: mem_ratio divide out the hardware.
+LARGE_N_GATE_SIZES = [(10_000, 0.03, 60, 5)]
+LARGE_N_SPEEDUP_FLOOR = 3.0
 
 
 def check_greedy_speedups(baseline: dict, tolerance: float) -> list:
@@ -85,6 +101,38 @@ def check_memory_budget() -> list:
     return failures
 
 
+def check_large_n() -> list:
+    """Run the hub-vs-sparse tier at hub scale and enforce the floors."""
+    failures = []
+    entry = bench_hub_tier(sizes=LARGE_N_GATE_SIZES)["sizes"][0]
+    speedup = float(entry["speedup"])
+    mem_ratio = float(entry["mem_ratio"])
+    status = (
+        "ok"
+        if speedup >= LARGE_N_SPEEDUP_FLOOR and mem_ratio < 1.0
+        else "REGRESSION"
+    )
+    print(
+        f"hub tier n={entry['n']}: solve {entry['hub_s']}s vs sparse "
+        f"{entry['sparse_s']}s -> speedup {speedup:.3f} (floor "
+        f"{LARGE_N_SPEEDUP_FLOOR}), mem ratio {mem_ratio:.3f} "
+        f"(budget < 1.0) [{status}]"
+    )
+    if speedup < LARGE_N_SPEEDUP_FLOOR:
+        failures.append(
+            f"hub-tier speedup {speedup:.3f} below floor "
+            f"{LARGE_N_SPEEDUP_FLOOR} at n={entry['n']}"
+        )
+    if mem_ratio >= 1.0:
+        failures.append(
+            f"hub-tier peak memory is {mem_ratio:.3f} of sparse "
+            f"(must be < 1.0) at n={entry['n']}"
+        )
+    if not entry.get("placements_identical"):
+        failures.append("hub placements diverged from sparse")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default="BENCH_perf.json")
@@ -99,6 +147,11 @@ def main() -> int:
         action="store_true",
         help="also enforce the sparse-tier peak-memory budget at n=2000",
     )
+    parser.add_argument(
+        "--large-n",
+        action="store_true",
+        help="also enforce the hub-tier speedup/memory floors at n=10^4",
+    )
     args = parser.parse_args()
 
     with open(args.baseline) as handle:
@@ -107,6 +160,8 @@ def main() -> int:
     failures = check_greedy_speedups(baseline, args.tolerance)
     if args.memory:
         failures.extend(check_memory_budget())
+    if args.large_n:
+        failures.extend(check_large_n())
 
     if failures:
         for message in failures:

@@ -36,7 +36,8 @@ def _add_oracle_argument(parser: argparse.ArgumentParser) -> None:
         choices=sorted(ORACLE_POLICIES),
         help="distance-oracle tier for instances built without an explicit "
         "oracle: 'dense' = full APSP matrix, 'sparse' = pair-centric row "
-        "block, 'auto' (the default policy) picks by instance size",
+        "block, 'hub' = threshold-cutoff hub-label index (n>=10^4 scale), "
+        "'auto' (the default policy) picks by instance size",
     )
 
 

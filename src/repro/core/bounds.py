@@ -46,12 +46,15 @@ class MuFunction:
         self.threshold = instance.d_threshold
         tol = 1e-12 + 1e-9 * self.threshold
         limit = self.threshold + tol
-        matrix = instance.oracle.matrix
+        # Row accessors, never the square matrix: identical masks on every
+        # oracle tier (a sparse/hub oracle serves pair-endpoint rows
+        # without materializing O(n²)).
+        oracle = instance.oracle
         self._masks: List[Optional[np.ndarray]] = []
         self.base_satisfied: List[bool] = []
         for iu, iw in instance.pair_indices:
-            du = matrix[iu, :]
-            dw = matrix[iw, :]
+            du = oracle.row_by_index(iu)
+            dw = oracle.row_by_index(iw)
             if du[iw] <= limit:
                 # Base-satisfied pairs need no mask; they count always.
                 self.base_satisfied.append(True)
@@ -116,7 +119,7 @@ class NuFunction:
         self.threshold = instance.d_threshold
         tol = 1e-12 + 1e-9 * self.threshold
         limit = self.threshold + tol
-        matrix = instance.oracle.matrix
+        oracle = instance.oracle
 
         graph = instance.graph
         self.pair_nodes = instance.pair_nodes()
@@ -131,11 +134,14 @@ class NuFunction:
         self.weights = np.array(
             [counts[x] / 2.0 for x in self.pair_nodes], dtype=float
         )
-        # cover[v, j]: endpoint v covers pair node j.
-        self.cover = matrix[:, self._pair_node_indices] <= limit
+        # cover[v, j]: endpoint v covers pair node j. Base distances are
+        # symmetric, so the pair-node *rows* transpose into the column
+        # slice the dense matrix used to provide.
+        self.cover = oracle.rows(self._pair_node_indices).T <= limit
 
         base_limits = [
-            bool(matrix[iu, iw] <= limit) for iu, iw in instance.pair_indices
+            bool(oracle.distance_by_index(iu, iw) <= limit)
+            for iu, iw in instance.pair_indices
         ]
         self.base_sigma = sum(base_limits)
 

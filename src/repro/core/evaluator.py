@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.problem import MSCInstance
 from repro.graph.distances import DistanceOracle
+from repro.graph.paths import ball_indices
 from repro.graph.shortcuts import ShortcutDistanceEngine
 from repro.types import IndexPair, normalize_index_pair
 
@@ -295,12 +296,18 @@ class SigmaEvaluator:
         self._pair_w_cols = np.array(
             [iw for _, iw in self._pairs], dtype=np.intp
         )
-        # satisfied() only queries from first endpoints; keep the smaller
-        # source set for it.
+        # satisfied() only queries from first endpoints to second-endpoint
+        # columns; keep the smaller source set and the deduplicated column
+        # set for it (the column-restricted engine query never touches an
+        # n-wide row — label-sliced on the hub tier).
         self._u_sources = sorted({iu for iu, _ in self._pairs})
         u_row_of = {s: i for i, s in enumerate(self._u_sources)}
         self._pair_u_only_rows = np.array(
             [u_row_of[iu] for iu, _ in self._pairs], dtype=np.intp
+        )
+        self._w_columns = np.unique(self._pair_w_cols)
+        self._pair_w_slots = np.searchsorted(
+            self._w_columns, self._pair_w_cols
         )
 
     @property
@@ -331,8 +338,10 @@ class SigmaEvaluator:
             return list(self.base_satisfied)
         engine = self._engine(edges)
         limit = self.threshold + self.tolerance
-        rows = engine.distances_from_indices(self._u_sources)
-        distances = rows[self._pair_u_only_rows, self._pair_w_cols]
+        rows = engine.distances_from_indices_to(
+            self._u_sources, self._w_columns
+        )
+        distances = rows[self._pair_u_only_rows, self._pair_w_slots]
         return (distances <= limit).tolist()
 
     def value(self, edges: Sequence[IndexPair]) -> int:
@@ -412,6 +421,13 @@ class SigmaEvaluator:
         for a, b in edges:
             sources.add(int(a))
             sources.add(int(b))
+        if getattr(oracle, "prefers_ball_universe", False):
+            # Hub-label tier: a full row query costs the whole label
+            # index, while a cutoff Dijkstra costs only the ball — and
+            # both enumerate exactly the base-distance d_t-ball.
+            return ball_indices(
+                self.instance.graph, sorted(sources), limit
+            )
         member = np.zeros(n, dtype=bool)
         for src in sorted(sources):
             member |= oracle.row_by_index(src) <= limit

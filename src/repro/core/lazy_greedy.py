@@ -68,11 +68,8 @@ def lazy_greedy_placement(
     if k == 0:  # empty placement; skip the O(n^2) heap seeding
         return [], 0
     n = fn.n
-    if candidates is None:
-        candidates = [
-            (a, b) for a in range(n) for b in range(a + 1, n)
-        ]
-    else:
+    default_candidates = candidates is None
+    if not default_candidates:
         candidates = [normalize_index_pair(a, b) for a, b in candidates]
 
     placed: List[IndexPair] = []
@@ -83,21 +80,51 @@ def lazy_greedy_placement(
     # Heap of (-stale_gain, tiebreak, edge, round_evaluated).
     heap: List[Tuple[float, int, IndexPair, int]] = []
     scan = getattr(fn, "add_candidates", None)
-    if scan is not None:
-        # Seed every candidate's round-0 bound from one vectorized scan
-        # instead of O(n²) point evaluations. Round-0 entries are always
-        # re-evaluated before selection, so a seeding bound that differs
-        # from the point value by float noise cannot change correctness.
-        scores = np.asarray(scan(placed), dtype=float)
+    restricted = None
+    if default_candidates and stop_when_no_gain:
+        # Seed from the restricted candidate scan when the function offers
+        # one: every candidate outside the returned universe has exactly
+        # zero round-0 gain and the early stop can never select it, so a
+        # heap over universe pairs alone selects the same edges while
+        # seeding O(r²) instead of O(n²) entries (r = d_t-ball size —
+        # on the hub-label tier the only scan that never touches an
+        # n-wide array).
+        restricted_scan = getattr(fn, "add_candidates_restricted", None)
+        if restricted_scan is not None:
+            restricted = restricted_scan(placed)
+    if restricted is not None:
+        block, universe = restricted
         evaluations += 1
-        for edge in candidates:
-            gain = float(scores[edge[0], edge[1]]) - current
-            heapq.heappush(heap, (-gain, next(counter), edge, 0))
+        r = int(universe.size)
+        for ai in range(r):
+            a = int(universe[ai])
+            for bi in range(ai + 1, r):
+                gain = float(block[ai, bi]) - current
+                heapq.heappush(
+                    heap,
+                    (-gain, next(counter), (a, int(universe[bi])), 0),
+                )
     else:
-        for edge in candidates:
-            gain = float(fn.value([edge])) - current
+        if default_candidates:
+            candidates = [
+                (a, b) for a in range(n) for b in range(a + 1, n)
+            ]
+        if scan is not None:
+            # Seed every candidate's round-0 bound from one vectorized
+            # scan instead of O(n²) point evaluations. Round-0 entries are
+            # always re-evaluated before selection, so a seeding bound
+            # that differs from the point value by float noise cannot
+            # change correctness.
+            scores = np.asarray(scan(placed), dtype=float)
             evaluations += 1
-            heapq.heappush(heap, (-gain, next(counter), edge, 0))
+            for edge in candidates:
+                gain = float(scores[edge[0], edge[1]]) - current
+                heapq.heappush(heap, (-gain, next(counter), edge, 0))
+        else:
+            for edge in candidates:
+                gain = float(fn.value([edge])) - current
+                evaluations += 1
+                heapq.heappush(heap, (-gain, next(counter), edge, 0))
 
     for round_number in range(1, k + 1):
         best: Optional[Tuple[float, IndexPair]] = None

@@ -15,6 +15,7 @@ from repro.exceptions import InstanceError
 from repro.failure.models import failure_to_length, length_to_failure
 from repro.graph.distances import DistanceOracle
 from repro.graph.graph import Node, WirelessGraph
+from repro.graph.hub_labels import HubLabelOracle, threshold_cutoff
 from repro.graph.sparse_oracle import (
     SparseRowOracle,
     relevant_source_indices,
@@ -27,11 +28,11 @@ from repro.util.validation import (
     check_positive_int,
 )
 
-#: Either distance-oracle tier (both serve the row protocol).
-OracleLike = Union[DistanceOracle, SparseRowOracle]
+#: Any distance-oracle tier (all serve the row protocol).
+OracleLike = Union[DistanceOracle, SparseRowOracle, HubLabelOracle]
 
 #: Oracle policy names accepted by ``MSCInstance(oracle=...)``.
-ORACLE_POLICIES = ("dense", "sparse", "auto")
+ORACLE_POLICIES = ("dense", "sparse", "hub", "auto")
 
 #: Below this node count ``auto`` always picks the dense tier: the full
 #: APSP is cheap and every consumer gets O(1) row views with no ball
@@ -42,6 +43,12 @@ SPARSE_ORACLE_MIN_N = 512
 #: endpoints + their d_t-ball) exceeds this fraction of the nodes — a row
 #: block nearly as tall as the matrix saves nothing.
 SPARSE_MAX_RELEVANT_FRACTION = 0.5
+
+#: From this node count up ``auto`` picks the hub-label tier: the sparse
+#: row block is still ``r × n`` (its width grows with the graph), while
+#: the threshold-cutoff label index is a few entries per node and builds
+#: in ``O(n · ball)`` — the n=10⁴–10⁶ operating range.
+HUB_ORACLE_MIN_N = 10_000
 
 #: Module default used when ``MSCInstance`` gets no ``oracle=`` argument;
 #: settable via :func:`set_default_oracle_policy` (the CLI's ``--oracle``).
@@ -79,11 +86,14 @@ def resolve_oracle(
 
     ``dense`` builds the classic APSP :class:`DistanceOracle`; ``sparse``
     builds a :class:`SparseRowOracle` restricted to the pair endpoints and
-    their ``d_t``-ball; ``auto`` measures the ball first (cutoff Dijkstra
-    from the endpoints — cost bounded by the ball, not the graph) and picks
-    sparse only when the graph is large (``n >=``
-    :data:`SPARSE_ORACLE_MIN_N`) and the relevant fraction ``r/n`` is at
-    most :data:`SPARSE_MAX_RELEVANT_FRACTION`.
+    their ``d_t``-ball; ``hub`` builds a threshold-cutoff
+    :class:`HubLabelOracle` (exact for every comparison against ``d_t``,
+    label footprint independent of pair count). ``auto`` picks dense below
+    :data:`SPARSE_ORACLE_MIN_N`, hub from :data:`HUB_ORACLE_MIN_N` up,
+    and in between measures the ball first (cutoff Dijkstra from the
+    endpoints — cost bounded by the ball, not the graph) and picks sparse
+    only when the relevant fraction ``r/n`` is at most
+    :data:`SPARSE_MAX_RELEVANT_FRACTION`.
     """
     if policy not in ORACLE_POLICIES:
         raise InstanceError(
@@ -95,9 +105,13 @@ def resolve_oracle(
         return SparseRowOracle(graph, seeds, radius=d_threshold)
     if policy == "dense":
         return DistanceOracle(graph)
+    if policy == "hub":
+        return HubLabelOracle(graph, cutoff=threshold_cutoff(d_threshold))
     n = graph.number_of_nodes()
     if n < SPARSE_ORACLE_MIN_N or not seeds:
         return DistanceOracle(graph)
+    if n >= HUB_ORACLE_MIN_N:
+        return HubLabelOracle(graph, cutoff=threshold_cutoff(d_threshold))
     sources = relevant_source_indices(graph, seeds, d_threshold)
     if sources.size > SPARSE_MAX_RELEVANT_FRACTION * n:
         return DistanceOracle(graph)
@@ -131,13 +145,15 @@ class MSCInstance:
             :class:`~repro.types.PlacementResult` for them; the default
             keeps the paper's preconditions strict.
         oracle: the distance-oracle tier. Accepts a prebuilt oracle
-            (either :class:`~repro.graph.distances.DistanceOracle` or
-            :class:`~repro.graph.sparse_oracle.SparseRowOracle` for this
+            (a :class:`~repro.graph.distances.DistanceOracle`,
+            :class:`~repro.graph.sparse_oracle.SparseRowOracle`, or
+            :class:`~repro.graph.hub_labels.HubLabelOracle` for this
             graph), one of the policy names ``"dense"`` / ``"sparse"`` /
-            ``"auto"``, or ``None`` to use the process default policy
-            (see :func:`set_default_oracle_policy`; initially ``"auto"``,
-            which keeps paper-scale instances dense and switches large
-            instances to the pair-centric sparse row block).
+            ``"hub"`` / ``"auto"``, or ``None`` to use the process default
+            policy (see :func:`set_default_oracle_policy`; initially
+            ``"auto"``, which keeps paper-scale instances dense, switches
+            large instances to the pair-centric sparse row block, and
+            n ≥ 10⁴ instances to the hub-label index).
     """
 
     def __init__(
@@ -229,11 +245,12 @@ class MSCInstance:
     @property
     def oracle_kind(self) -> str:
         """Which oracle tier the instance ended up with
-        (``"dense"`` or ``"sparse"``)."""
-        return (
-            "sparse" if isinstance(self.oracle, SparseRowOracle)
-            else "dense"
-        )
+        (``"dense"``, ``"sparse"``, or ``"hub"``)."""
+        if isinstance(self.oracle, SparseRowOracle):
+            return "sparse"
+        if isinstance(self.oracle, HubLabelOracle):
+            return "hub"
+        return "dense"
 
     def pair_nodes(self) -> List[Node]:
         """Distinct nodes appearing in the social pairs, in first-seen

@@ -223,12 +223,27 @@ def ball_indices(
 ) -> np.ndarray:
     """Sorted dense indices of every node within *radius* of a source.
 
-    Runs one cutoff Dijkstra per source, so exploration is bounded by the
-    ball size rather than the graph size — cheap even on large graphs.
-    Sources themselves are always included (distance zero).
+    One *multi-source* cutoff Dijkstra (every source seeded at distance
+    zero) computes ``min_s d(s, v)`` directly, so the union ball is
+    explored once — not once per source — and exploration stays bounded
+    by the ball size rather than the graph size. Membership
+    (``min_s d(s, v) <= radius``) is identical to the union of per-source
+    cutoff balls. Sources themselves are always included (distance zero).
     """
-    members = set(int(s) for s in sources)
-    for src in set(members):
-        dist = _dijkstra_indices(graph, src, cutoff=radius)
-        members.update(i for i, d in enumerate(dist) if not math.isinf(d))
-    return np.array(sorted(members), dtype=np.intp)
+    dist: Dict[int, float] = {int(s): 0.0 for s in sources}
+    heap: List[Tuple[float, int]] = [(0.0, s) for s in dist]
+    heapq.heapify(heap)
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, INFINITY):
+            continue
+        if d > radius:
+            break
+        for v, length in graph.neighbors_by_index(u).items():
+            nd = d + length
+            if nd <= radius and nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return np.array(
+        sorted(i for i, d in dist.items() if d <= radius), dtype=np.intp
+    )

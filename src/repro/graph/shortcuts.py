@@ -102,24 +102,73 @@ class ShortcutDistanceEngine:
             self._inter = np.empty((0, 0))
             self._closure = np.empty((0, 0))
             return
-        # comp_min[a, :] = distance from supernode a to every base node.
-        # Row access (never the square matrix) keeps the engine working
-        # unchanged on row-block oracles.
-        self._comp_min = np.vstack(
-            [
-                oracle.rows(members).min(axis=0)
-                for members in self._components
-            ]
-        )
-        # Pairwise supernode distances through the base graph, then closed
-        # under taking further shortcut hops (supernodes can chain).
-        self._inter = np.vstack(
-            [
-                self._comp_min[:, members].min(axis=1)
-                for members in self._components
-            ]
-        )
+        rows_to = getattr(oracle, "rows_to", None)
+        if rows_to is not None:
+            # Lazy tables (hub-label tier): never materialize the (c, n)
+            # comp_min block. F is tiny, so the inter-supernode matrix is
+            # a handful of label-sliced set-to-set queries, and the
+            # column-restricted queries derive their comp_min slices on
+            # demand (:meth:`_comp_block`). Full-width rows appear only
+            # if a consumer asks for a full-row query (off the hot path).
+            self._comp_min = None
+            inter = np.empty((c, c))
+            for a in range(c):
+                inter[a, a] = 0.0
+                for b in range(a + 1, c):
+                    value = float(
+                        rows_to(
+                            self._components[a], self._components[b]
+                        ).min()
+                    )
+                    inter[a, b] = inter[b, a] = value
+            self._inter = inter
+        else:
+            # comp_min[a, :] = distance from supernode a to every base
+            # node. Row access (never the square matrix) keeps the engine
+            # working unchanged on row-block oracles.
+            self._comp_min = np.vstack(
+                [
+                    oracle.rows(members).min(axis=0)
+                    for members in self._components
+                ]
+            )
+            # Pairwise supernode distances through the base graph, then
+            # closed under taking further shortcut hops (supernodes can
+            # chain).
+            self._inter = np.vstack(
+                [
+                    self._comp_min[:, members].min(axis=1)
+                    for members in self._components
+                ]
+            )
         self._closure = _floyd_warshall_closure(self._inter)
+
+    def _comp_min_table(self) -> np.ndarray:
+        """The full ``(c, n)`` comp_min block, materialized on demand in
+        lazy mode (full-width queries only; restricted queries go through
+        :meth:`_comp_block`)."""
+        if self._comp_min is None:
+            oracle = self._oracle
+            self._comp_min = np.vstack(
+                [
+                    oracle.rows(members).min(axis=0)
+                    for members in self._components
+                ]
+            )
+        return self._comp_min
+
+    def _comp_block(self, columns: np.ndarray) -> np.ndarray:
+        """comp_min restricted to *columns* — ``(c, len(columns))``;
+        label-sliced in lazy mode, a column view otherwise."""
+        if self._comp_min is not None:
+            return self._comp_min[:, columns]
+        rows_to = self._oracle.rows_to
+        return np.vstack(
+            [
+                rows_to(members, columns).min(axis=0)
+                for members in self._components
+            ]
+        )
 
     # ----------------------------------------------------- incremental build
 
@@ -170,40 +219,50 @@ class ShortcutDistanceEngine:
             return child
 
         oracle = self._oracle
+        rows_to = getattr(oracle, "rows_to", None)
+        # A lazy parent stays lazy: the touched inter row/column comes
+        # from label-sliced set-to-set queries, and no comp_min rows are
+        # carried at all. (A parent whose comp_min was materialized by a
+        # full-width query keeps the materialized update path.)
+        lazy = rows_to is not None and self._comp_min is None
         components = [list(m) for m in self._components]
-        comp_min_rows = list(self._comp_min)
+        comp_min_rows = None if lazy else list(self._comp_min)
         if comp_u < 0 and comp_v < 0:
             # Fresh two-node supernode, appended last.
             touched = len(components)
             components.append(sorted((iu, iv)))
-            comp_min_rows.append(
-                np.minimum(
-                    oracle.row_by_index(iu), oracle.row_by_index(iv)
+            if not lazy:
+                comp_min_rows.append(
+                    np.minimum(
+                        oracle.row_by_index(iu), oracle.row_by_index(iv)
+                    )
                 )
-            )
             kept = list(range(len(self._components)))
         elif comp_u >= 0 and comp_v >= 0:
             # Merge two existing supernodes (keep the lower slot).
             lo, hi = sorted((comp_u, comp_v))
             touched = lo
             components[lo] = sorted(components[lo] + components[hi])
-            comp_min_rows[lo] = np.minimum(
-                comp_min_rows[lo], comp_min_rows[hi]
-            )
-            del components[hi], comp_min_rows[hi]
+            if not lazy:
+                comp_min_rows[lo] = np.minimum(
+                    comp_min_rows[lo], comp_min_rows[hi]
+                )
+                del comp_min_rows[hi]
+            del components[hi]
             kept = [j for j in range(len(self._components)) if j != hi]
         else:
             # Absorb the loose endpoint into the existing supernode.
             touched = comp_u if comp_u >= 0 else comp_v
             loose = iv if comp_u >= 0 else iu
             components[touched] = sorted(components[touched] + [loose])
-            comp_min_rows[touched] = np.minimum(
-                comp_min_rows[touched], oracle.row_by_index(loose)
-            )
+            if not lazy:
+                comp_min_rows[touched] = np.minimum(
+                    comp_min_rows[touched], oracle.row_by_index(loose)
+                )
             kept = list(range(len(self._components)))
 
         child._components = [sorted(m) for m in components]
-        child._comp_min = np.vstack(comp_min_rows)
+        child._comp_min = None if lazy else np.vstack(comp_min_rows)
         # Inter-supernode base distances change only in the touched row and
         # column (base distances between untouched member sets are fixed).
         c = len(components)
@@ -214,12 +273,21 @@ class ShortcutDistanceEngine:
                 [kept[j] for j in kept_rows], [kept[j] for j in kept_rows]
             )
             inter[np.ix_(kept_rows, kept_rows)] = self._inter[sub]
-        touched_row = np.array(
-            [
-                child._comp_min[touched, members].min()
-                for members in child._components
-            ]
-        )
+        touched_members = child._components[touched]
+        if lazy:
+            touched_row = np.array(
+                [
+                    float(rows_to(touched_members, members).min())
+                    for members in child._components
+                ]
+            )
+        else:
+            touched_row = np.array(
+                [
+                    child._comp_min[touched, members].min()
+                    for members in child._components
+                ]
+            )
         inter[touched, :] = touched_row
         inter[:, touched] = touched_row  # base distances are symmetric
         child._inter = inter
@@ -249,9 +317,10 @@ class ShortcutDistanceEngine:
         base = self._oracle.row_by_index(src)
         if not self._components:
             return base.copy()
-        entry = self._comp_min[:, src]  # cost to reach each supernode
+        comp_min = self._comp_min_table()
+        entry = comp_min[:, src]  # cost to reach each supernode
         reach = (entry[:, None] + self._closure).min(axis=0)
-        via = (reach[:, None] + self._comp_min).min(axis=0)
+        via = (reach[:, None] + comp_min).min(axis=0)
         return np.minimum(base, via)
 
     def distances_from(self, node: Node) -> np.ndarray:
@@ -272,7 +341,8 @@ class ShortcutDistanceEngine:
         out = self._oracle.rows(src)  # fresh (s, n) array; used as scratch
         if not self._components:
             return out
-        entry = self._comp_min[:, src]  # (c, s): cost to reach supernodes
+        comp_min = self._comp_min_table()
+        entry = comp_min[:, src]  # (c, s): cost to reach supernodes
         # reach[c, i]: source i to supernode c, chaining through others.
         reach = (entry[:, None, :] + self._closure[:, :, None]).min(axis=0)
         # Fold the supernode routes in one component at a time: the naive
@@ -281,7 +351,7 @@ class ShortcutDistanceEngine:
         # arrays no matter how large F gets.
         via = np.empty_like(out)
         for a in range(len(self._components)):
-            np.add(reach[a, :, None], self._comp_min[a, None, :], out=via)
+            np.add(reach[a, :, None], comp_min[a, None, :], out=via)
             np.minimum(out, via, out=out)
         return out
 
@@ -297,14 +367,20 @@ class ShortcutDistanceEngine:
         """
         src = np.asarray(sources, dtype=np.intp)
         cols = np.asarray(columns, dtype=np.intp)
-        out = np.empty((src.size, cols.size))
-        for i, s in enumerate(src):
-            out[i] = self._oracle.row_by_index(int(s))[cols]
+        rows_to = getattr(self._oracle, "rows_to", None)
+        if rows_to is not None:
+            # Label-sliced base block: work scales with the requested
+            # labels, never with n.
+            out = rows_to(src, cols)
+        else:
+            out = np.empty((src.size, cols.size))
+            for i, s in enumerate(src):
+                out[i] = self._oracle.row_by_index(int(s))[cols]
         if not self._components:
             return out
-        entry = self._comp_min[:, src]  # (c, s): cost to reach supernodes
+        entry = self._comp_block(src)  # (c, s): cost to reach supernodes
         reach = (entry[:, None, :] + self._closure[:, :, None]).min(axis=0)
-        comp_cols = self._comp_min[:, cols]  # (c, len(cols))
+        comp_cols = self._comp_block(cols)  # (c, len(cols))
         via = np.empty_like(out)
         for a in range(len(self._components)):
             np.add(reach[a, :, None], comp_cols[a, None, :], out=via)
@@ -315,9 +391,9 @@ class ShortcutDistanceEngine:
         """Augmented distance between dense indices *iu* and *iv*."""
         best = float(self._oracle.distance_by_index(iu, iv))
         if self._components:
-            entry = self._comp_min[:, iu]
-            reach = (entry[:, None] + self._closure).min(axis=0)
-            best = min(best, float((reach + self._comp_min[:, iv]).min()))
+            block = self._comp_block(np.array([iu, iv], dtype=np.intp))
+            reach = (block[:, :1] + self._closure).min(axis=0)
+            best = min(best, float((reach + block[:, 1]).min()))
         return best
 
     def distance(self, u: Node, v: Node) -> float:

@@ -155,6 +155,24 @@ class TestBlockAndLaziness:
         adopted.row_by_index(0)
         assert SparseRowOracle.build_count == before + 1
 
+    def test_adopted_block_and_lazy_fills_never_bump_build_count(self):
+        # with_block consistency: neither touching .block on an adopted
+        # oracle nor serving straggler rows may count as a build —
+        # build_count meters real row-block computations only, so the
+        # shm fan-out's per-worker adoptions stay invisible to it.
+        g = path_graph([1.0, 1.0, 1.0])
+        original = SparseRowOracle(g, [0], radius=0.5)
+        original.block  # real build
+        before = SparseRowOracle.build_count
+        adopted = SparseRowOracle.with_block(
+            g, list(original.source_indices), np.array(original.block)
+        )
+        adopted.block
+        adopted.block
+        adopted.row_by_index(3)  # straggler -> lazy fill, not a build
+        assert SparseRowOracle.build_count == before
+        assert adopted.lazy_fills == 1
+
     def test_with_block_serves_adopted_rows(self):
         g = path_graph([1.0, 2.0])
         original = SparseRowOracle(g, [0, 1])
