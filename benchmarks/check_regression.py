@@ -15,12 +15,15 @@ Raw wall-clock times are machine-dependent, so the gate compares the
 * ``--large-n``: additionally runs the hub-vs-sparse tier at n=10^4 and
   asserts the hub solve is ≥ 3× faster with a lower tracemalloc peak and
   an identical placement (the hub tier's acceptance floors).
+* ``--serve``: additionally runs the serve warm-cache bench and asserts a
+  warm (resident-substrate) request is ≥ 5× faster than a cold
+  rebuild-per-request, with identical placements.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
         [--baseline BENCH_perf.json] [--tolerance 0.25] [--memory] \
-        [--large-n]
+        [--large-n] [--serve]
 
 Exit status 0 = no regression; 1 = regression (messages on stderr).
 """
@@ -36,12 +39,14 @@ try:
         bench_greedy_path,
         bench_hub_tier,
         bench_oracle_tiers,
+        bench_serve_warm_cache,
     )
 except ImportError:  # invoked as `python benchmarks/check_regression.py`
     from perf_harness import (
         bench_greedy_path,
         bench_hub_tier,
         bench_oracle_tiers,
+        bench_serve_warm_cache,
     )
 
 #: Memory-gate workload: n=2000 with p_t=0.03 keeps a comfortable margin
@@ -56,6 +61,11 @@ MEMORY_BUDGET_RATIO = 0.25
 #: mem_ratio divide out the hardware.
 LARGE_N_GATE_SIZES = [(10_000, 0.03, 60, 5)]
 LARGE_N_SPEEDUP_FLOOR = 3.0
+
+#: Serve gate: a warm (resident-substrate) request must be at least this
+#: many times faster than a cold rebuild-per-request — the acceptance
+#: floor of the planner-service work, machine-relative by construction.
+SERVE_WARM_SPEEDUP_FLOOR = 5.0
 
 
 def check_greedy_speedups(baseline: dict, tolerance: float) -> list:
@@ -133,6 +143,30 @@ def check_large_n() -> list:
     return failures
 
 
+def check_serve_warm_cache() -> list:
+    """Run the serve warm-vs-cold bench and enforce the speedup floor."""
+    failures = []
+    entry = bench_serve_warm_cache()
+    speedup = float(entry["speedup"])
+    status = (
+        "ok" if speedup >= SERVE_WARM_SPEEDUP_FLOOR else "REGRESSION"
+    )
+    print(
+        f"serve warm cache n={entry['n']}: cold "
+        f"{entry['cold_s_per_request']}s/req vs warm "
+        f"{entry['warm_s_per_request']}s/req -> speedup {speedup:.3f} "
+        f"(floor {SERVE_WARM_SPEEDUP_FLOOR}) [{status}]"
+    )
+    if speedup < SERVE_WARM_SPEEDUP_FLOOR:
+        failures.append(
+            f"serve warm-cache speedup {speedup:.3f} below floor "
+            f"{SERVE_WARM_SPEEDUP_FLOOR} at n={entry['n']}"
+        )
+    if not entry.get("placements_identical"):
+        failures.append("warm placements diverged from cold")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default="BENCH_perf.json")
@@ -152,6 +186,12 @@ def main() -> int:
         action="store_true",
         help="also enforce the hub-tier speedup/memory floors at n=10^4",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="also enforce the serve warm-cache speedup floor (warm "
+        "resident-substrate requests >= 5x faster than cold rebuilds)",
+    )
     args = parser.parse_args()
 
     with open(args.baseline) as handle:
@@ -162,6 +202,8 @@ def main() -> int:
         failures.extend(check_memory_budget())
     if args.large_n:
         failures.extend(check_large_n())
+    if args.serve:
+        failures.extend(check_serve_warm_cache())
 
     if failures:
         for message in failures:

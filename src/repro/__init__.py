@@ -47,7 +47,14 @@ from repro.core.msc_cn import (
 from repro.core.problem import MSCInstance
 from repro.core.random_baseline import solve_random_baseline
 from repro.core.ratio import sandwich_ratio
-from repro.core.registry import get_solver, register_solver, solve, solver_names
+from repro.core.registry import (
+    get_solver,
+    register_solver,
+    solve,
+    solve_request,
+    solver_names,
+)
+from repro.core.substrate import EngineCache, PlacementRequest, Substrate
 from repro.core.sandwich import SandwichApproximation, solve_sandwich
 from repro.core.weighted import (
     WeightedMuFunction,
@@ -98,6 +105,9 @@ __all__ = [
     "ShortcutDistanceEngine",
     # problem + objective
     "MSCInstance",
+    "Substrate",
+    "PlacementRequest",
+    "EngineCache",
     "SigmaEvaluator",
     "MuFunction",
     "NuFunction",
@@ -128,6 +138,7 @@ __all__ = [
     "get_solver",
     "register_solver",
     "solve",
+    "solve_request",
     "solver_names",
     # analysis
     "edge_contributions",

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.evaluator import SigmaEvaluator
 from repro.core.problem import MSCInstance
+from repro.core.substrate import PlacementRequest, Substrate
 from repro.exceptions import SolverError
 from repro.types import IndexPair, NodePair, normalize_index_pair
 
@@ -28,6 +29,14 @@ class PlacementPlanner:
     given as node pairs at the API surface; the instance's budget ``k`` is
     advisory — the planner warns via :attr:`over_budget` instead of
     refusing, since what-if exploration legitimately overshoots.
+
+    The default evaluator goes through the instance's **shared**
+    :class:`~repro.core.substrate.EngineCache` (it used to hold a private
+    one): every :meth:`add`/:meth:`remove`/σ query refreshes distances via
+    the substrate's engine LRU, so a planner session on a served substrate
+    sees the same cache hits as batch solves over it — an ``add`` after a
+    batch greedy run extends the batch's cached engines incrementally
+    instead of rebuilding from the APSP matrix.
     """
 
     def __init__(
@@ -41,6 +50,19 @@ class PlacementPlanner:
         )
         self._edges: List[IndexPair] = []
         self._undo: List[Tuple[str, IndexPair]] = []
+
+    @classmethod
+    def from_parts(
+        cls, substrate: Substrate, request: PlacementRequest
+    ) -> "PlacementPlanner":
+        """Open a what-if session on a shared substrate (service form)."""
+        return cls(MSCInstance.from_parts(substrate, request))
+
+    @property
+    def engine_cache(self):
+        """The engine cache serving this session (shared with the
+        substrate unless a custom evaluator was injected)."""
+        return self.evaluator.engine_cache
 
     # ------------------------------------------------------------- helpers
 

@@ -7,7 +7,12 @@ Usage::
     msc-repro run all --scale quick
     msc-repro run all --jobs 4 --resume ckpt/ --retries 2  # fault-tolerant
     msc-repro robustness --scale quick    # fault-injection degradation
+    msc-repro serve --port 7571   # long-lived planner service (JSONL)
     msc-repro describe            # workload summaries
+
+The execution-control flags (``--oracle``, ``--jobs``, ``--retries``,
+``--task-timeout``, ``--resume``) are accepted uniformly by ``run``,
+``robustness`` and ``serve``.
 
 (also available as ``python -m repro.cli``)
 """
@@ -39,6 +44,45 @@ def _add_oracle_argument(parser: argparse.ArgumentParser) -> None:
         "block, 'hub' = threshold-cutoff hub-label index (n>=10^4 scale), "
         "'auto' (the default policy) picks by instance size",
     )
+
+
+def add_execution_args(
+    parser: argparse.ArgumentParser,
+    *,
+    jobs_help: str = "number of parallel workers",
+) -> None:
+    """The execution-control flags shared by ``run``/``robustness``/``serve``.
+
+    Every command that executes placement work accepts the same five
+    knobs, with the same spellings and defaults: ``--oracle``, ``--jobs``,
+    ``--retries``, ``--task-timeout`` and ``--resume``.
+    """
+    parser.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a task that raised, crashed, or hung up to this many "
+        "extra times (with exponential backoff) before reporting it failed",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock bound; a task exceeding it is terminated "
+        "(and retried if --retries allows)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="checkpoint directory: completed tasks are journaled there as "
+        "they finish, and a re-run (or restarted server) pointed at the "
+        "same directory restores them instead of recomputing — results "
+        "stay byte-identical to an uninterrupted run",
+    )
+    _add_oracle_argument(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,40 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run each experiment this many times (seed, seed+1, ...) and "
         "report mean +/- std",
     )
-    run.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="fan experiments (and their inner sweeps/trials) out across "
-        "this many worker processes; results are byte-identical to a "
-        "serial run",
+    add_execution_args(
+        run,
+        jobs_help="fan experiments (and their inner sweeps/trials) out "
+        "across this many worker processes; results are byte-identical to "
+        "a serial run",
     )
-    run.add_argument(
-        "--resume",
-        metavar="DIR",
-        default=None,
-        help="checkpoint directory: completed experiments are journaled "
-        "there as they finish, and a re-run pointed at the same directory "
-        "restores them instead of recomputing (results stay byte-identical "
-        "to an uninterrupted run)",
-    )
-    run.add_argument(
-        "--retries",
-        type=int,
-        default=0,
-        help="retry an experiment whose worker raised, crashed, or hung "
-        "up to this many extra times on a fresh process (with exponential "
-        "backoff) before reporting it failed",
-    )
-    run.add_argument(
-        "--task-timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="per-experiment wall-clock bound; a worker exceeding it is "
-        "terminated (and retried if --retries allows)",
-    )
-    _add_oracle_argument(run)
 
     robustness = sub.add_parser(
         "robustness",
@@ -137,10 +153,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=1, help="base RNG seed"
     )
     robustness.add_argument(
-        "--jobs", type=int, default=1,
-        help="fan (mode, severity) cells out across worker processes",
-    )
-    robustness.add_argument(
         "--json", default=None, help="write the result to this JSON file"
     )
     robustness.add_argument(
@@ -151,7 +163,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--charts", action="store_true",
         help="also render degradation curves as ASCII charts",
     )
-    _add_oracle_argument(robustness)
+    add_execution_args(
+        robustness,
+        jobs_help="fan (mode, severity) cells out across worker processes",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived planner service: warm substrates answer place/"
+        "sigma/whatif requests over JSON lines (TCP or stdio)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (TCP mode)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port; 0 (the default) picks an ephemeral port and "
+        "prints it on startup",
+    )
+    serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve JSONL over stdin/stdout instead of TCP (one-process "
+        "pipelines, CI smokes)",
+    )
+    serve.add_argument(
+        "--max-substrates",
+        type=int,
+        default=4,
+        help="how many workload substrates stay resident (LRU beyond this)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="admission-batch collection window: concurrent requests for "
+        "the same substrate arriving within it run as one batch over the "
+        "shared engine cache (default 0.005)",
+    )
+    add_execution_args(
+        serve,
+        jobs_help="executor threads; same-substrate requests are always "
+        "serialized, extra threads help when several substrates are hot",
+    )
 
     sub.add_parser(
         "describe", help="print the generated workloads' summary statistics"
@@ -296,10 +353,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_robustness(args: argparse.Namespace) -> int:
-    start = time.perf_counter()
-    result = run_experiment(
-        "robustness", scale=args.scale, seed=args.seed, jobs=args.jobs
+    fault_tolerant = (
+        args.resume is not None
+        or args.retries > 0
+        or args.task_timeout is not None
     )
+    start = time.perf_counter()
+    if fault_tolerant:
+        from repro.experiments.runner import run_all_report
+
+        report = run_all_report(
+            scale=args.scale,
+            seed=args.seed,
+            names=["robustness"],
+            jobs=args.jobs,
+            checkpoint_dir=args.resume,
+            retries=args.retries,
+            task_timeout=args.task_timeout,
+        )
+        if report.failures:
+            for error in report.failures:
+                print(f"FAILED: {error}", file=sys.stderr)
+            return 1
+        result, _ = next(
+            entry for entry in report.results if entry is not None
+        )
+    else:
+        result = run_experiment(
+            "robustness", scale=args.scale, seed=args.seed, jobs=args.jobs
+        )
     elapsed = time.perf_counter() - start
     print(result.render(precision=args.precision, charts=args.charts))
     print(f"[robustness finished in {elapsed:.1f}s]")
@@ -307,6 +389,26 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         dump_json([result.to_json()], args.json)
         print(f"wrote {args.json}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import DEFAULT_BATCH_WINDOW, run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        stdio=args.stdio,
+        max_substrates=args.max_substrates,
+        jobs=args.jobs,
+        retries=args.retries,
+        task_timeout=args.task_timeout,
+        batch_window=(
+            args.batch_window
+            if args.batch_window is not None
+            else DEFAULT_BATCH_WINDOW
+        ),
+        journal_dir=args.resume,
+    )
 
 
 def _cmd_describe() -> int:
@@ -330,6 +432,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "robustness":
         return _cmd_robustness(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "describe":
         return _cmd_describe()
     if args.command == "report":

@@ -18,11 +18,16 @@ from repro.core.msc_cn import (
 from repro.core.problem import MSCInstance
 from repro.core.random_baseline import solve_random_baseline
 from repro.core.ratio import sandwich_ratio
-from repro.core.registry import get_solver, solver_names
+from repro.core.registry import get_solver, solve_request, solver_names
 from repro.core.sandwich import SandwichApproximation, solve_sandwich
+from repro.core.substrate import EngineCache, PlacementRequest, Substrate
 
 __all__ = [
     "MSCInstance",
+    "Substrate",
+    "PlacementRequest",
+    "EngineCache",
+    "solve_request",
     "SigmaEvaluator",
     "MuFunction",
     "NuFunction",

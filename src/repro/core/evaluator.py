@@ -24,16 +24,20 @@ columns and scatter-adds the reduced block instead of allocating a full
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.problem import MSCInstance
-from repro.graph.distances import DistanceOracle
+from repro.core.substrate import (  # noqa: F401  (re-exported: historical home)
+    DEFAULT_ENGINE_CACHE_SIZE,
+    ENGINE_CACHE_MIN_N,
+    EngineCache,
+    default_engine_cache_size,
+)
 from repro.graph.paths import ball_indices
 from repro.graph.shortcuts import ShortcutDistanceEngine
-from repro.types import IndexPair, normalize_index_pair
+from repro.types import IndexPair
 
 #: Peak per-pair temporary size (elements) for the chunked candidate scan.
 DEFAULT_CHUNK_ELEMENTS = 1 << 22
@@ -43,70 +47,10 @@ DEFAULT_CHUNK_ELEMENTS = 1 << 22
 #: the pruned path's extra per-pair index bookkeeping.
 PRUNED_SCAN_MIN_N = 96
 
-#: Below this node count the engine LRU is disabled by default: building a
-#: supernode table from scratch on a graph this small is cheaper than the
-#: cache's frozenset keys and parent-lookup bookkeeping (the n=40
-#: regression in BENCH_perf.json). Explicit ``engine_cache_size`` values
-#: always win; the calibrated cutover is recorded in the benchmark output.
-ENGINE_CACHE_MIN_N = 96
-
-#: Default engine-LRU capacity once the cutover is passed.
-DEFAULT_ENGINE_CACHE_SIZE = 128
-
 #: Below this node count the d_t-ball candidate restriction is skipped:
 #: the full (n, n) scan is already cheap and the ball/searchsorted
 #: bookkeeping would dominate.
 CANDIDATE_RESTRICT_MIN_N = 192
-
-
-class EngineCache:
-    """Small LRU of :class:`ShortcutDistanceEngine` keyed by shortcut set.
-
-    A lookup that misses but finds an engine for a one-edge-smaller subset
-    derives the requested engine incrementally via
-    :meth:`ShortcutDistanceEngine.extended_by_index` instead of rebuilding
-    the supernode tables from the APSP matrix. ``maxsize=0`` disables
-    caching entirely (every lookup rebuilds from scratch — the legacy
-    behavior, kept for benchmarking).
-    """
-
-    def __init__(self, oracle: DistanceOracle, maxsize: int = 128) -> None:
-        self._oracle = oracle
-        self._maxsize = int(maxsize)
-        self._store: "OrderedDict[frozenset, ShortcutDistanceEngine]" = (
-            OrderedDict()
-        )
-        self.hits = 0
-        self.extensions = 0
-        self.builds = 0
-
-    def get(self, edges: Iterable[IndexPair]) -> ShortcutDistanceEngine:
-        key = frozenset(normalize_index_pair(a, b) for a, b in edges)
-        if self._maxsize <= 0:
-            self.builds += 1
-            return ShortcutDistanceEngine.from_index_pairs(
-                self._oracle, sorted(key)
-            )
-        engine = self._store.get(key)
-        if engine is not None:
-            self._store.move_to_end(key)
-            self.hits += 1
-            return engine
-        for edge in key:
-            parent = self._store.get(key - {edge})
-            if parent is not None:
-                engine = parent.extended_by_index(*edge)
-                self.extensions += 1
-                break
-        if engine is None:
-            engine = ShortcutDistanceEngine.from_index_pairs(
-                self._oracle, sorted(key)
-            )
-            self.builds += 1
-        self._store[key] = engine
-        while len(self._store) > self._maxsize:
-            self._store.popitem(last=False)
-        return engine
 
 
 class PairScanAccumulator:
@@ -232,10 +176,15 @@ class SigmaEvaluator:
             for benchmarking the fast path against.
         engine_cache_size: LRU capacity of the shortcut-engine memo; ``0``
             disables engine reuse (every evaluation rebuilds from the APSP
-            matrix). ``None`` (default) auto-selects:
+            matrix). ``None`` (default) adopts the **shared** cache of the
+            instance's :class:`~repro.core.substrate.Substrate` — every
+            evaluator, planner session and served request over one
+            substrate then reuses each other's incremental engine
+            extensions (the substrate auto-sizes it:
             :data:`DEFAULT_ENGINE_CACHE_SIZE` from
             :data:`ENGINE_CACHE_MIN_N` nodes up, disabled below — tiny
-            instances never pay the cache bookkeeping.
+            instances never pay the cache bookkeeping). An explicit size
+            always builds a private cache.
         restrict_candidates: let the candidate *generation* (not just the
             scoring) shrink to the d_t-ball of the pair endpoints and
             placed shortcut endpoints (:meth:`candidate_universe`) —
@@ -264,12 +213,14 @@ class SigmaEvaluator:
         self.restrict_candidates = bool(restrict_candidates)
         self.chunk_elements = int(chunk_elements)
         if engine_cache_size is None:
-            engine_cache_size = (
-                DEFAULT_ENGINE_CACHE_SIZE
-                if instance.n >= ENGINE_CACHE_MIN_N
-                else 0
+            # Adopt the substrate's shared engine LRU so concurrent
+            # evaluators over one substrate (batch solves, planner
+            # sessions, served requests) reuse each other's engines.
+            self.engine_cache = instance.substrate.engine_cache
+        else:
+            self.engine_cache = EngineCache(
+                instance.oracle, engine_cache_size
             )
-        self.engine_cache = EngineCache(instance.oracle, engine_cache_size)
         self._pairs = instance.pair_indices
         oracle = instance.oracle
         self.base_satisfied: List[bool] = [

@@ -5,14 +5,25 @@ optimization starts: the undirected graph with edge lengths, the set ``S`` of
 ``m`` important social pairs, the failure-probability threshold ``p_t``
 (equivalently the distance requirement ``d_t = -ln(1 - p_t)``), and the
 shortcut-edge budget ``k``.
+
+Since the substrate/request split, :class:`MSCInstance` is a thin façade
+over a :class:`~repro.core.substrate.Substrate` (graph + oracle + shared
+engine cache; expensive, immutable, shareable) and a
+:class:`~repro.core.substrate.PlacementRequest` (pairs + budget +
+threshold; cheap, per-query) — exposed as :attr:`MSCInstance.substrate` and
+:attr:`MSCInstance.request`. The historical constructor keeps working
+unchanged (no deprecation warning: it *is* the convenient one-shot form);
+long-lived callers build the parts once and combine them with
+:meth:`MSCInstance.from_parts` per request.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence, Union
 
+from repro.core.substrate import OracleLike, PlacementRequest, Substrate
 from repro.exceptions import InstanceError
-from repro.failure.models import failure_to_length, length_to_failure
+from repro.failure.models import length_to_failure
 from repro.graph.distances import DistanceOracle
 from repro.graph.graph import Node, WirelessGraph
 from repro.graph.hub_labels import HubLabelOracle, threshold_cutoff
@@ -21,15 +32,6 @@ from repro.graph.sparse_oracle import (
     relevant_source_indices,
 )
 from repro.types import IndexPair, NodePair, normalize_index_pair
-from repro.util.validation import (
-    check_fraction,
-    check_nonnegative,
-    check_nonnegative_int,
-    check_positive_int,
-)
-
-#: Any distance-oracle tier (all serve the row protocol).
-OracleLike = Union[DistanceOracle, SparseRowOracle, HubLabelOracle]
 
 #: Oracle policy names accepted by ``MSCInstance(oracle=...)``.
 ORACLE_POLICIES = ("dense", "sparse", "hub", "auto")
@@ -121,6 +123,12 @@ def resolve_oracle(
 class MSCInstance:
     """A Maintaining-Social-Connections problem instance.
 
+    A façade over ``(substrate, request)``; see
+    :meth:`from_parts` for the two-object form and the class attributes
+    :attr:`substrate` / :attr:`request` for the parts. ``graph``,
+    ``oracle``, ``pairs``, ``k`` and the thresholds read through to the
+    parts, so existing code is unaffected by the split.
+
     Args:
         graph: the base communication graph (edge lengths already encode
             link failure probabilities).
@@ -148,12 +156,15 @@ class MSCInstance:
             (a :class:`~repro.graph.distances.DistanceOracle`,
             :class:`~repro.graph.sparse_oracle.SparseRowOracle`, or
             :class:`~repro.graph.hub_labels.HubLabelOracle` for this
-            graph), one of the policy names ``"dense"`` / ``"sparse"`` /
-            ``"hub"`` / ``"auto"``, or ``None`` to use the process default
-            policy (see :func:`set_default_oracle_policy`; initially
-            ``"auto"``, which keeps paper-scale instances dense, switches
-            large instances to the pair-centric sparse row block, and
-            n ≥ 10⁴ instances to the hub-label index).
+            graph), a prebuilt :class:`~repro.core.substrate.Substrate`
+            (its graph must be this graph — the instance then shares the
+            substrate's engine cache), one of the policy names
+            ``"dense"`` / ``"sparse"`` / ``"hub"`` / ``"auto"``, or
+            ``None`` to use the process default policy (see
+            :func:`set_default_oracle_policy`; initially ``"auto"``, which
+            keeps paper-scale instances dense, switches large instances to
+            the pair-centric sparse row block, and n ≥ 10⁴ instances to
+            the hub-label index).
     """
 
     def __init__(
@@ -166,59 +177,67 @@ class MSCInstance:
         d_threshold: Optional[float] = None,
         require_initially_unsatisfied: bool = True,
         allow_degenerate: bool = False,
-        oracle: Union[OracleLike, str, None] = None,
+        oracle: Union[OracleLike, Substrate, str, None] = None,
     ) -> None:
-        if (p_threshold is None) == (d_threshold is None):
-            raise InstanceError(
-                "exactly one of p_threshold / d_threshold must be given"
-            )
-        if d_threshold is None:
-            p = check_fraction(p_threshold, "p_threshold")
-            d_threshold = failure_to_length(p)
-        else:
-            d_threshold = check_nonnegative(d_threshold, "d_threshold")
-        self.graph = graph
-        self.d_threshold = float(d_threshold)
-        if allow_degenerate:
-            self.k = check_nonnegative_int(k, "k")
-        else:
-            self.k = check_positive_int(k, "k")
-
-        self.pairs: List[NodePair] = []
-        self.pair_indices: List[IndexPair] = []
-        for u, w in pairs:
-            if u == w:
-                raise InstanceError(f"social pair ({u!r}, {w!r}) is a self-pair")
-            if not graph.has_node(u) or not graph.has_node(w):
-                raise InstanceError(
-                    f"social pair ({u!r}, {w!r}) references unknown node(s)"
-                )
-            self.pairs.append((u, w))
-            self.pair_indices.append(
-                normalize_index_pair(graph.node_index(u), graph.node_index(w))
-            )
-        if not self.pairs and not allow_degenerate:
-            raise InstanceError(
-                "at least one important social pair required "
-                "(pass allow_degenerate=True to accept an empty set)"
-            )
-
-        if oracle is None:
-            oracle = _DEFAULT_ORACLE_POLICY
-        if isinstance(oracle, str):
-            self.oracle: OracleLike = resolve_oracle(
-                graph, self.pair_indices, self.d_threshold, oracle
-            )
-        else:
-            self.oracle = oracle
+        request = PlacementRequest(
+            pairs,
+            k,
+            p_threshold=p_threshold,
+            d_threshold=d_threshold,
+            require_initially_unsatisfied=require_initially_unsatisfied,
+            allow_degenerate=allow_degenerate,
+        )
+        pair_indices = _checked_pair_indices(graph, request.pairs)
+        if isinstance(oracle, Substrate):
             if oracle.graph is not graph:
                 raise InstanceError(
-                    "oracle was built for a different graph"
+                    "substrate was built for a different graph"
                 )
+            substrate = oracle
+        else:
+            if oracle is None:
+                oracle = _DEFAULT_ORACLE_POLICY
+            if isinstance(oracle, str):
+                oracle = resolve_oracle(
+                    graph, pair_indices, request.d_threshold, oracle
+                )
+            substrate = Substrate(graph, oracle)
+        self._bind(substrate, request, pair_indices)
 
-        if require_initially_unsatisfied:
-            for (u, w), (iu, iw) in zip(self.pairs, self.pair_indices):
-                if self.oracle.distance_by_index(iu, iw) <= self.d_threshold:
+    @classmethod
+    def from_parts(
+        cls, substrate: Substrate, request: PlacementRequest
+    ) -> "MSCInstance":
+        """Combine a shared :class:`Substrate` with one
+        :class:`PlacementRequest`.
+
+        This is the long-lived-service entry point: the substrate (and its
+        engine cache) is reused across requests, and only the cheap
+        request-side validation runs per call. Equivalent in every
+        observable way to the one-shot constructor with a prebuilt oracle.
+        """
+        self = object.__new__(cls)
+        self._bind(
+            substrate,
+            request,
+            _checked_pair_indices(substrate.graph, request.pairs),
+        )
+        return self
+
+    def _bind(
+        self,
+        substrate: Substrate,
+        request: PlacementRequest,
+        pair_indices: List[IndexPair],
+    ) -> None:
+        self.substrate = substrate
+        self.request = request
+        self.pairs: List[NodePair] = list(request.pairs)
+        self.pair_indices: List[IndexPair] = pair_indices
+        if request.require_initially_unsatisfied:
+            oracle = substrate.oracle
+            for (u, w), (iu, iw) in zip(self.pairs, pair_indices):
+                if oracle.distance_by_index(iu, iw) <= request.d_threshold:
                     raise InstanceError(
                         f"pair ({u!r}, {w!r}) already meets the distance "
                         "requirement in the base graph; pass "
@@ -228,6 +247,26 @@ class MSCInstance:
     # ------------------------------------------------------------ properties
 
     @property
+    def graph(self) -> WirelessGraph:
+        """The base communication graph (lives on the substrate)."""
+        return self.substrate.graph
+
+    @property
+    def oracle(self) -> OracleLike:
+        """The resolved distance oracle (lives on the substrate)."""
+        return self.substrate.oracle
+
+    @property
+    def k(self) -> int:
+        """Shortcut-edge budget (lives on the request)."""
+        return self.request.k
+
+    @property
+    def d_threshold(self) -> float:
+        """Distance requirement ``d_t`` (lives on the request)."""
+        return self.request.d_threshold
+
+    @property
     def m(self) -> int:
         """Number of important social pairs."""
         return len(self.pairs)
@@ -235,7 +274,7 @@ class MSCInstance:
     @property
     def n(self) -> int:
         """Number of graph nodes."""
-        return self.graph.number_of_nodes()
+        return self.substrate.n
 
     @property
     def p_threshold(self) -> float:
@@ -246,11 +285,7 @@ class MSCInstance:
     def oracle_kind(self) -> str:
         """Which oracle tier the instance ended up with
         (``"dense"``, ``"sparse"``, or ``"hub"``)."""
-        if isinstance(self.oracle, SparseRowOracle):
-            return "sparse"
-        if isinstance(self.oracle, HubLabelOracle):
-            return "hub"
-        return "dense"
+        return self.substrate.oracle_kind
 
     def pair_nodes(self) -> List[Node]:
         """Distinct nodes appearing in the social pairs, in first-seen
@@ -310,3 +345,21 @@ class MSCInstance:
 
     def __repr__(self) -> str:
         return self.describe()
+
+
+def _checked_pair_indices(
+    graph: WirelessGraph, pairs: Sequence[NodePair]
+) -> List[IndexPair]:
+    """Validate *pairs* against *graph* and return their index form."""
+    indices: List[IndexPair] = []
+    for u, w in pairs:
+        if u == w:
+            raise InstanceError(f"social pair ({u!r}, {w!r}) is a self-pair")
+        if not graph.has_node(u) or not graph.has_node(w):
+            raise InstanceError(
+                f"social pair ({u!r}, {w!r}) references unknown node(s)"
+            )
+        indices.append(
+            normalize_index_pair(graph.node_index(u), graph.node_index(w))
+        )
+    return indices

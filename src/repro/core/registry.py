@@ -16,6 +16,7 @@ from repro.core.msc_cn import solve_msc_cn, solve_msc_cn_exact
 from repro.core.problem import MSCInstance
 from repro.core.random_baseline import solve_random_baseline
 from repro.core.sandwich import solve_sandwich
+from repro.core.substrate import PlacementRequest, Substrate
 from repro.exceptions import SolverError
 from repro.types import PlacementResult
 
@@ -58,7 +59,39 @@ def register_solver(name: str, solver: Solver, overwrite: bool = False) -> None:
 
 
 def solve(
-    name: str, instance: MSCInstance, seed=None, **params
+    name: str, instance, seed=None, **params
 ) -> PlacementResult:
-    """Convenience: look up *name* and run it on *instance*."""
+    """Convenience: look up *name* and run it on *instance*.
+
+    *instance* is an :class:`MSCInstance`; a
+    :class:`~repro.core.substrate.Substrate` is also accepted together
+    with a ``request=`` keyword (forwarded to :func:`solve_request`).
+    """
+    if isinstance(instance, Substrate):
+        request = params.pop("request", None)
+        if request is None:
+            raise SolverError(
+                "solving on a Substrate requires a request= keyword "
+                "(see solve_request)"
+            )
+        return solve_request(name, instance, request, seed=seed, **params)
     return get_solver(name)(instance, seed=seed, **params)
+
+
+def solve_request(
+    name: str,
+    substrate: Substrate,
+    request: PlacementRequest,
+    seed=None,
+    **params,
+) -> PlacementResult:
+    """Run solver *name* on ``substrate + request``.
+
+    The split form of :func:`solve`: the substrate (graph, oracle, shared
+    engine cache) is reused across calls, and only the cheap per-request
+    state is built here. Placements are identical to solving the
+    equivalent one-shot :class:`MSCInstance`.
+    """
+    return get_solver(name)(
+        MSCInstance.from_parts(substrate, request), seed=seed, **params
+    )

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.problem import MSCInstance
+from repro.core.substrate import PlacementRequest, Substrate
 from repro.dynamics.series import DynamicMSCInstance
 from repro.experiments import shm
 from repro.graph.distances import DistanceOracle
@@ -54,6 +55,19 @@ class Workload:
     oracle: DistanceOracle
     name: str
     positions: Optional[dict] = None
+    _substrate: Optional[Substrate] = None
+
+    def substrate(self) -> Substrate:
+        """The workload's shared :class:`Substrate` (built on first use).
+
+        Shortcut engines depend only on the oracle and the shortcut set —
+        never on pairs or thresholds — so one substrate (and its engine
+        LRU) safely serves every instance sampled from this workload, and
+        a multi-threshold sweep reuses engines across its cells.
+        """
+        if self._substrate is None:
+            self._substrate = Substrate(self.graph, self.oracle)
+        return self._substrate
 
     def instance(
         self,
@@ -63,16 +77,13 @@ class Workload:
         seed: SeedLike = None,
     ) -> MSCInstance:
         """Sample *m* important pairs at *p_threshold* and build the
-        instance with budget *k*."""
+        instance with budget *k* (sharing the workload substrate)."""
         pairs = select_important_pairs(
             self.graph, m, p_threshold, seed=seed, oracle=self.oracle
         )
-        return MSCInstance(
-            self.graph,
-            pairs,
-            k,
-            p_threshold=p_threshold,
-            oracle=self.oracle,
+        return MSCInstance.from_parts(
+            self.substrate(),
+            PlacementRequest(pairs, k, p_threshold=p_threshold),
         )
 
 

@@ -1,0 +1,270 @@
+"""Tests for the Substrate / PlacementRequest split (repro.core.substrate).
+
+The headline property: for **every** registered solver, solving through the
+new ``(Substrate, PlacementRequest)`` API returns exactly the same placement
+as the classic ``MSCInstance`` API on fig1-family workloads — the split is a
+pure refactor of how instances are assembled, never of what they compute.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+
+import pytest
+
+from repro.core.problem import MSCInstance
+from repro.core.registry import solve, solve_request, solver_names
+from repro.core.substrate import (
+    EngineCache,
+    PlacementRequest,
+    Substrate,
+    default_engine_cache_size,
+)
+from repro.exceptions import InstanceError, ReproError, SolverError
+from repro.experiments.workloads import rg_workload
+from repro.graph.distances import DistanceOracle
+from repro.netgen.pairs import select_important_pairs
+
+from ..conftest import path_graph
+
+P_T = 0.1  # the fig1-family threshold (see experiments/figures.py)
+
+
+def _fig1_workload(n=40, seed=3):
+    return rg_workload(seed=seed, n=n, radius=0.3)
+
+
+def _common_node_pairs(workload, count=3):
+    """Pairs sharing one endpoint, all violating the fig1 threshold
+    (what the MSC-CN solvers require)."""
+    graph, oracle = workload.graph, workload.oracle
+    d_t = -math.log(1.0 - P_T)
+    for center in graph.nodes:
+        c = graph.node_index(center)
+        partners = [
+            other
+            for other in graph.nodes
+            if other != center
+            and oracle.distance_by_index(c, graph.node_index(other)) > d_t
+        ]
+        if len(partners) >= count:
+            return [(center, other) for other in partners[:count]]
+    raise AssertionError("workload has no common-node pair family")
+
+
+def _solver_fixture(name):
+    """(workload, pairs, k) sized so even the exact solvers finish fast."""
+    if name in ("msc_cn", "msc_cn_exact"):
+        workload = _fig1_workload(n=20)
+        return workload, _common_node_pairs(workload), 2
+    if name in ("exact",):
+        workload = _fig1_workload(n=20)
+        pairs = select_important_pairs(
+            workload.graph, 4, P_T, seed=5, oracle=workload.oracle
+        )
+        return workload, pairs, 1
+    workload = _fig1_workload(n=40)
+    pairs = select_important_pairs(
+        workload.graph, 6, P_T, seed=5, oracle=workload.oracle
+    )
+    return workload, pairs, 2
+
+
+class TestSolverEquivalence:
+    @pytest.mark.parametrize("name", solver_names())
+    def test_substrate_request_equals_instance(self, name):
+        workload, pairs, k = _solver_fixture(name)
+        # Classic API: graph + pairs, oracle resolved per instance.
+        legacy = MSCInstance(
+            workload.graph, pairs, k,
+            p_threshold=P_T, oracle=workload.oracle,
+        )
+        via_legacy = solve(name, legacy, seed=11)
+        # New API: shared substrate + per-request spec.
+        substrate = workload.substrate()
+        request = PlacementRequest(pairs, k, p_threshold=P_T)
+        via_split = solve_request(name, substrate, request, seed=11)
+        assert via_split.edges == via_legacy.edges
+        assert via_split.sigma == via_legacy.sigma
+        assert via_split.satisfied == via_legacy.satisfied
+        assert via_split.algorithm == via_legacy.algorithm
+
+    def test_solve_accepts_substrate_with_request_kwarg(self):
+        workload, pairs, k = _solver_fixture("sandwich")
+        request = PlacementRequest(pairs, k, p_threshold=P_T)
+        result = solve(
+            "sandwich", workload.substrate(), request=request, seed=11
+        )
+        assert result == solve_request(
+            "sandwich", workload.substrate(), request, seed=11
+        )
+
+    def test_solve_substrate_without_request_raises(self):
+        workload = _fig1_workload()
+        with pytest.raises(SolverError, match="request"):
+            solve("sandwich", workload.substrate())
+
+
+class TestPlacementRequest:
+    def test_requires_exactly_one_threshold(self):
+        with pytest.raises(InstanceError):
+            PlacementRequest([(0, 1)], 1)
+        with pytest.raises(InstanceError):
+            PlacementRequest(
+                [(0, 1)], 1, p_threshold=0.5, d_threshold=1.0
+            )
+
+    def test_p_threshold_round_trip(self):
+        request = PlacementRequest([(0, 1)], 1, p_threshold=0.5)
+        assert request.d_threshold == pytest.approx(-math.log(0.5))
+        assert request.p_threshold == pytest.approx(0.5)
+
+    def test_k_must_be_positive_unless_degenerate(self):
+        with pytest.raises(ReproError):
+            PlacementRequest([(0, 1)], 0, d_threshold=1.0)
+        degenerate = PlacementRequest(
+            [(0, 1)], 0, d_threshold=1.0, allow_degenerate=True
+        )
+        assert degenerate.k == 0
+
+    def test_empty_pairs_rejected_unless_degenerate(self):
+        with pytest.raises(InstanceError):
+            PlacementRequest([], 1, d_threshold=1.0)
+        assert PlacementRequest(
+            [], 1, d_threshold=1.0, allow_degenerate=True
+        ).m == 0
+
+    def test_hashable_and_equal_by_content(self):
+        a = PlacementRequest([(0, 1), (2, 3)], 2, d_threshold=1.5)
+        b = PlacementRequest([(0, 1), (2, 3)], 2, d_threshold=1.5)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_describe_mentions_the_knobs(self):
+        text = PlacementRequest([(0, 1)], 3, d_threshold=1.5).describe()
+        assert "k=3" in text and "m=1" in text
+
+
+class TestSubstrate:
+    def test_fingerprint_stable_across_builds(self):
+        a = _fig1_workload().substrate()
+        b = _fig1_workload().substrate()
+        assert a is not b
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_differs_across_workloads(self):
+        a = _fig1_workload(seed=3).substrate()
+        b = _fig1_workload(seed=4).substrate()
+        assert a != b
+        assert a.fingerprint != b.fingerprint
+
+    def test_oracle_must_belong_to_graph(self):
+        one = path_graph([1.0, 1.0])
+        other = path_graph([1.0, 1.0])
+        with pytest.raises(InstanceError):
+            Substrate(one, DistanceOracle(other))
+
+    def test_build_resolves_oracle_policy(self):
+        graph = path_graph([1.0] * 4)
+        substrate = Substrate.build(graph, oracle="dense")
+        assert substrate.oracle_kind == "dense"
+
+    def test_instance_round_trip(self):
+        workload, pairs, k = _solver_fixture("sandwich")
+        substrate = workload.substrate()
+        request = PlacementRequest(pairs, k, p_threshold=P_T)
+        instance = substrate.instance(request)
+        assert instance.substrate is substrate
+        assert instance.request is request
+        assert instance.pairs == list(pairs)
+        assert instance.k == k
+
+    def test_stats_shape(self):
+        stats = _fig1_workload().substrate().stats()
+        assert {"fingerprint", "n", "oracle", "engine_cache"} <= set(stats)
+
+
+class TestEngineCacheSharing:
+    def test_instances_of_one_workload_share_the_cache(self):
+        workload = _fig1_workload()
+        a = workload.instance(P_T, m=4, k=2, seed=1)
+        b = workload.instance(P_T, m=4, k=2, seed=2)
+        assert a.substrate is b.substrate
+        assert (
+            a.substrate.engine_cache is b.substrate.engine_cache
+        )
+
+    def test_default_size_gates_small_instances(self):
+        assert default_engine_cache_size(10) == 0
+        assert default_engine_cache_size(10_000) > 0
+
+    def test_cache_stats_counters(self):
+        workload = _fig1_workload()
+        cache = EngineCache(workload.oracle, 8)
+        cache.get(frozenset({(0, 1)}))
+        cache.get(frozenset({(0, 1)}))
+        stats = cache.stats()
+        assert stats["builds"] == 1
+        assert stats["hits"] == 1
+        assert stats["entries"] == 1
+        assert stats["maxsize"] == 8
+
+
+class TestFacadeShim:
+    def test_classic_constructor_emits_no_deprecation_warning(self):
+        graph = path_graph([1.0] * 4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            instance = MSCInstance(
+                graph, [(0, 4)], 1, d_threshold=1.5
+            )
+        assert instance.m == 1
+
+    def test_facade_exposes_substrate_and_request(self):
+        graph = path_graph([1.0] * 4)
+        instance = MSCInstance(graph, [(0, 4)], 1, d_threshold=1.5)
+        assert isinstance(instance.substrate, Substrate)
+        assert isinstance(instance.request, PlacementRequest)
+        assert instance.graph is instance.substrate.graph
+        assert instance.oracle is instance.substrate.oracle
+        assert instance.k == instance.request.k
+        assert instance.d_threshold == instance.request.d_threshold
+
+    def test_from_parts_enforces_pair_validation(self):
+        graph = path_graph([1.0] * 4)
+        substrate = Substrate.build(graph)
+        with pytest.raises(InstanceError):
+            MSCInstance.from_parts(
+                substrate,
+                PlacementRequest([(0, 99)], 1, d_threshold=1.5),
+            )
+
+    def test_from_parts_enforces_initially_unsatisfied(self):
+        graph = path_graph([1.0] * 4)
+        substrate = Substrate.build(graph)
+        with pytest.raises(InstanceError):
+            # (0, 1) is already within the threshold.
+            MSCInstance.from_parts(
+                substrate,
+                PlacementRequest([(0, 1)], 1, d_threshold=1.5),
+            )
+        relaxed = MSCInstance.from_parts(
+            substrate,
+            PlacementRequest(
+                [(0, 1)], 1, d_threshold=1.5,
+                require_initially_unsatisfied=False,
+            ),
+        )
+        assert relaxed.m == 1
+
+    def test_legacy_import_locations_still_work(self):
+        from repro import PlacementRequest as top_level_request
+        from repro import Substrate as top_level_substrate
+        from repro.core.evaluator import EngineCache as legacy_cache
+
+        assert top_level_request is PlacementRequest
+        assert top_level_substrate is Substrate
+        assert legacy_cache is EngineCache

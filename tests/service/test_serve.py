@@ -1,0 +1,334 @@
+"""Round-trip tests for ``repro serve``: a live service answering over TCP.
+
+The contract under test: a long-lived server answering concurrent clients
+returns placements **byte-identical** to offline library solves — across
+admission batching, substrate LRU eviction/rebuild, retries, and journal
+restore. Malformed requests are answered with structured errors and never
+take the server down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.registry import solve
+from repro.experiments.workloads import rg_workload
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import PlannerService, serve_socket
+from repro.service.substrates import SubstrateLRU, build_workload
+
+WL_A = {"kind": "rg", "seed": 1, "n": 80}
+WL_B = {"kind": "rg", "seed": 2, "n": 80}
+P_T = 0.1
+
+
+@contextmanager
+def running_service(**service_kwargs):
+    """A PlannerService on an ephemeral port, torn down afterwards."""
+    ready = {}
+    started = threading.Event()
+
+    def run():
+        async def main():
+            service = PlannerService(**service_kwargs)
+            await serve_socket(
+                service,
+                "127.0.0.1",
+                0,
+                ready=lambda host, port: (
+                    ready.update(port=port), started.set(),
+                ),
+            )
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(30), "server did not start"
+    try:
+        yield ready["port"]
+    finally:
+        try:
+            with ServiceClient(port=ready["port"], timeout=10) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        thread.join(10)
+
+
+@pytest.fixture(scope="module")
+def server_port():
+    with running_service(max_substrates=2, jobs=2) as port:
+        yield port
+
+
+def offline_place(spec, solver, k, m, pair_seed, seed):
+    """What the service must return, computed the offline way."""
+    workload = rg_workload(
+        seed=spec["seed"], n=spec["n"], radius=spec.get("radius", 0.2),
+        max_link_failure=spec.get("max_link_failure", 0.08),
+    )
+    instance = workload.instance(P_T, m=m, k=k, seed=pair_seed)
+    result = solve(solver, instance, seed=seed)
+    return {
+        "edges": [[int(u), int(w)] for u, w in result.edges],
+        "sigma": int(result.sigma),
+        "satisfied": [bool(flag) for flag in result.satisfied],
+        "pairs": [[int(u), int(w)] for u, w in instance.pairs],
+    }
+
+
+def served_subset(result):
+    return {
+        field: result[field]
+        for field in ("edges", "sigma", "satisfied", "pairs")
+    }
+
+
+class TestRoundTrip:
+    def test_place_matches_offline_byte_identical(self, server_port):
+        with ServiceClient(port=server_port) as client:
+            served = client.place(
+                WL_A, solver="sandwich", k=3, m=10,
+                p_threshold=P_T, pair_seed=7, seed=11,
+            )
+        expected = offline_place(WL_A, "sandwich", 3, 10, 7, 11)
+        assert json.dumps(served_subset(served), sort_keys=True) == (
+            json.dumps(expected, sort_keys=True)
+        )
+
+    def test_concurrent_clients_all_byte_identical(self, server_port):
+        jobs = [
+            (WL_A, "sandwich", 3, 10, 7, 11),
+            (WL_A, "ea", 3, 10, 7, 11),
+            (WL_A, "sandwich", 2, 8, 3, 5),
+            (WL_B, "sandwich", 3, 10, 7, 11),
+            (WL_A, "random", 3, 10, 7, 11),
+            (WL_B, "ea", 2, 8, 3, 5),
+        ]
+
+        def one(job):
+            spec, solver, k, m, pair_seed, seed = job
+            with ServiceClient(port=server_port) as client:
+                return client.place(
+                    spec, solver=solver, k=k, m=m,
+                    p_threshold=P_T, pair_seed=pair_seed, seed=seed,
+                )
+
+        with ThreadPoolExecutor(max_workers=len(jobs)) as pool:
+            served = list(pool.map(one, jobs))
+        for job, result in zip(jobs, served):
+            spec, solver, k, m, pair_seed, seed = job
+            expected = offline_place(spec, solver, k, m, pair_seed, seed)
+            assert served_subset(result) == expected, job
+
+    def test_one_connection_pipelined_requests_batch(self, server_port):
+        payloads = [
+            {
+                "op": "place", "workload": WL_A, "solver": solver,
+                "k": 3, "m": 10, "p_threshold": P_T,
+                "pair_seed": 7, "seed": 11,
+            }
+            for solver in ("sandwich", "ea", "aea", "random")
+        ]
+        with ServiceClient(port=server_port) as client:
+            responses = client.request_many(payloads)
+            stats = client.stats()
+        for payload, response in zip(payloads, responses):
+            assert response["ok"], response
+            expected = offline_place(
+                WL_A, payload["solver"], 3, 10, 7, 11
+            )
+            assert served_subset(response["result"]) == expected
+        assert stats["batching"]["requests"] >= 1
+
+    def test_sigma_round_trip(self, server_port):
+        with ServiceClient(port=server_port) as client:
+            placed = client.place(
+                WL_A, solver="sandwich", k=3, m=10,
+                p_threshold=P_T, pair_seed=7, seed=11,
+            )
+            audited = client.sigma(
+                WL_A, pairs=placed["pairs"], edges=placed["edges"],
+                p_threshold=P_T,
+            )
+        assert audited["sigma"] == placed["sigma"]
+        assert audited["satisfied"] == placed["satisfied"]
+
+    def test_whatif_session_round_trip(self, server_port):
+        with ServiceClient(port=server_port) as client:
+            placed = client.place(
+                WL_A, solver="sandwich", k=3, m=10,
+                p_threshold=P_T, pair_seed=7, seed=11,
+            )
+            opened = client.whatif(
+                "t-session", "open", workload=WL_A, k=3, m=10,
+                p_threshold=P_T, pair_seed=7,
+            )
+            assert opened["sigma"] == 0
+            adopted = client.whatif(
+                "t-session", "adopt", edges=placed["edges"]
+            )
+            assert adopted["sigma"] == placed["sigma"]
+            summary = client.whatif("t-session", "summary")
+            assert summary["edges"] == placed["edges"]
+            undone = client.whatif("t-session", "undo")
+            assert undone["undone"] is False  # adopt clears the undo stack
+            closed = client.whatif("t-session", "close")
+            assert closed["closed"] is True
+            with pytest.raises(ServiceError, match="no open session"):
+                client.whatif("t-session", "summary")
+
+
+class TestDegradation:
+    def test_malformed_requests_get_structured_errors(self, server_port):
+        with ServiceClient(port=server_port) as client:
+            client._file.write(b"{broken json\n")
+            client._file.flush()
+            response = json.loads(client._file.readline())
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+            # The connection survives and keeps serving.
+            assert client.ping()
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ({"op": "echo"}, "unknown op"),
+            ({"op": "place", "workload": WL_A, "k": "three"}, "'k'"),
+            (
+                {"op": "place", "workload": {"kind": "lattice"}, "k": 1},
+                "workload kind",
+            ),
+            (
+                {
+                    "op": "place", "workload": WL_A, "k": 3, "m": 10,
+                    "p_threshold": P_T, "solver": "nope",
+                },
+                "available",
+            ),
+            (
+                {"op": "place", "workload": WL_A, "k": 3, "m": 10},
+                "p_threshold",
+            ),
+        ],
+    )
+    def test_bad_requests_answered_not_fatal(
+        self, server_port, payload, match
+    ):
+        with ServiceClient(port=server_port) as client:
+            with pytest.raises(ServiceError, match=match):
+                client.request(**payload)
+            assert client.ping()
+
+    def test_domain_error_keeps_its_type_under_retries(self):
+        # A deterministic InstanceError must not surface as TaskError
+        # even when the server has a retry budget.
+        with running_service(retries=2) as port:
+            with ServiceClient(port=port) as client:
+                with pytest.raises(ServiceError) as info:
+                    client.place(
+                        WL_A, solver="sandwich", k=3, m=10_000,
+                        p_threshold=P_T, pair_seed=7,
+                    )
+        assert info.value.error["type"] == "InstanceError"
+
+
+class TestWarmCacheLifecycle:
+    def test_lru_eviction_rebuild_is_byte_identical(self):
+        with running_service(max_substrates=1) as port:
+            with ServiceClient(port=port) as client:
+                first = client.place(
+                    WL_A, solver="sandwich", k=3, m=10,
+                    p_threshold=P_T, pair_seed=7, seed=11,
+                )
+                client.place(  # evicts WL_A's substrate
+                    WL_B, solver="sandwich", k=3, m=10,
+                    p_threshold=P_T, pair_seed=7, seed=11,
+                )
+                again = client.place(  # cold rebuild of WL_A
+                    WL_A, solver="sandwich", k=3, m=10,
+                    p_threshold=P_T, pair_seed=7, seed=11,
+                )
+                stats = client.stats()
+        assert stats["substrates"]["evictions"] >= 1
+        assert json.dumps(first, sort_keys=True) == (
+            json.dumps(again, sort_keys=True)
+        )
+
+    def test_warm_requests_hit_the_resident_substrate(self, server_port):
+        with ServiceClient(port=server_port) as client:
+            client.place(
+                WL_A, solver="sandwich", k=2, m=8,
+                p_threshold=P_T, pair_seed=1,
+            )
+            before = client.stats()["substrates"]["hits"]
+            client.place(
+                WL_A, solver="sandwich", k=2, m=8,
+                p_threshold=P_T, pair_seed=2,
+            )
+            after = client.stats()["substrates"]["hits"]
+        assert after > before
+
+    def test_journal_restores_across_server_restarts(self, tmp_path):
+        journal = str(tmp_path / "journal")
+        request = dict(
+            solver="sandwich", k=3, m=10,
+            p_threshold=P_T, pair_seed=7, seed=11,
+        )
+        with running_service(journal_dir=journal) as port:
+            with ServiceClient(port=port) as client:
+                first = client.place(WL_A, **request)
+                repeat = client.place(WL_A, **request)
+        assert "restored" not in first
+        assert repeat.pop("restored") is True
+        assert repeat == first
+        # A fresh server over the same journal restores without solving.
+        with running_service(journal_dir=journal) as port:
+            with ServiceClient(port=port) as client:
+                revived = client.place(WL_A, **request)
+                stats = client.stats()
+        assert revived.pop("restored") is True
+        assert revived == first
+        assert stats["restored"] == 1
+        assert stats["substrates"]["resident"] == 0  # never even built
+
+
+class TestSubstrateLRUUnit:
+    def test_hit_miss_eviction_accounting(self):
+        lru = SubstrateLRU(maxsize=1)
+        spec_a = {"kind": "rg", "seed": 1, "n": 30,
+                  "radius": 0.3, "max_link_failure": 0.08}
+        spec_b = {**spec_a, "seed": 2}
+        assert lru.get(spec_a) is None
+        entry_a = lru.put(lru.build(spec_a))
+        assert lru.get(spec_a) is entry_a
+        assert spec_a in lru
+        lru.put(lru.build(spec_b))
+        assert spec_a not in lru
+        assert lru.evictions == 1
+        stats = lru.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert len(stats["entries"]) == 1
+
+    def test_equal_key_race_keeps_resident_entry(self):
+        lru = SubstrateLRU(maxsize=2)
+        spec = {"kind": "rg", "seed": 1, "n": 30,
+                "radius": 0.3, "max_link_failure": 0.08}
+        resident = lru.put(lru.build(spec))
+        challenger = lru.build(spec)
+        assert lru.put(challenger) is resident
+        assert len(lru) == 1
+
+    def test_rebuilt_substrate_is_equal_by_content(self):
+        spec = {"kind": "rg", "seed": 1, "n": 30,
+                "radius": 0.3, "max_link_failure": 0.08}
+        a = build_workload(spec).substrate()
+        b = build_workload(spec).substrate()
+        assert a == b and a.fingerprint == b.fingerprint
